@@ -1,0 +1,164 @@
+// Command prvm-sim runs the trace-driven simulation experiments of
+// the paper (Figures 3, 5, 6 and 7): the four placement algorithms
+// over increasing VM counts, with median [p1, p99] reporting across
+// repetitions.
+//
+// Usage:
+//
+//	prvm-sim [-fig all|3a|3b|5a|5b|6a|6b|7a|7b] [-reps n] [-seed s]
+//	         [-vms 1000,2000,3000] [-pms n]
+//
+// The paper uses 100 repetitions; the default here is sized for a
+// small machine — pass -reps 100 (or set PRVM_REPS) to match the
+// paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pagerankvm/internal/experiments"
+)
+
+// figure maps a figure id to its trace and metric.
+var figures = map[string]struct {
+	trace  string
+	metric experiments.Metric
+	title  string
+}{
+	"3a": {trace: "planetlab", metric: experiments.MetricPMs, title: "Figure 3(a): PMs used"},
+	"3b": {trace: "google", metric: experiments.MetricPMs, title: "Figure 3(b): PMs used"},
+	"5a": {trace: "planetlab", metric: experiments.MetricEnergy, title: "Figure 5(a): energy"},
+	"5b": {trace: "google", metric: experiments.MetricEnergy, title: "Figure 5(b): energy"},
+	"6a": {trace: "planetlab", metric: experiments.MetricMigrations, title: "Figure 6(a): migrations"},
+	"6b": {trace: "google", metric: experiments.MetricMigrations, title: "Figure 6(b): migrations"},
+	"7a": {trace: "planetlab", metric: experiments.MetricSLO, title: "Figure 7(a): SLO violations"},
+	"7b": {trace: "google", metric: experiments.MetricSLO, title: "Figure 7(b): SLO violations"},
+}
+
+var figureOrder = []string{"3a", "3b", "5a", "5b", "6a", "6b", "7a", "7b"}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "prvm-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("prvm-sim", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "all", "figure id (3a,3b,5a,5b,6a,6b,7a,7b) or all")
+		reps    = fs.Int("reps", defaultReps(), "repetitions per point (paper: 100)")
+		seed    = fs.Int64("seed", 1, "base random seed")
+		vms     = fs.String("vms", "1000,2000,3000", "comma-separated VM counts")
+		pms     = fs.Int("pms", 0, "PMs per Table II type (0 = auto)")
+		csvPath = fs.String("csv", "", "also write the sweep data as tidy CSV to this file")
+		series  = fs.String("series", "", "write one run's per-interval time series as CSV to this file (uses the first -vms count and the first figure's trace)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts, err := parseInts(*vms)
+	if err != nil {
+		return err
+	}
+
+	wanted := figureOrder
+	if *fig != "all" {
+		if _, ok := figures[*fig]; !ok {
+			return fmt.Errorf("unknown figure %q", *fig)
+		}
+		wanted = []string{*fig}
+	}
+
+	// One sweep per needed trace, reused by every requested figure.
+	sweeps := make(map[string]*experiments.SimSweep)
+	for _, id := range wanted {
+		tr := figures[id].trace
+		if _, done := sweeps[tr]; done {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s sweep: vms=%v reps=%d...\n", tr, counts, *reps)
+		sweep, err := experiments.RunSimSweep(experiments.SimConfig{
+			Trace:      tr,
+			NumVMs:     counts,
+			Reps:       *reps,
+			Seed:       *seed,
+			PMsPerType: *pms,
+		})
+		if err != nil {
+			return err
+		}
+		sweeps[tr] = sweep
+	}
+	for i, id := range wanted {
+		if i > 0 {
+			fmt.Println()
+		}
+		f := figures[id]
+		if err := sweeps[f.trace].WriteFigure(os.Stdout, f.metric, f.title); err != nil {
+			return err
+		}
+	}
+	if *series != "" {
+		tr := figures[wanted[0]].trace
+		fmt.Fprintf(os.Stderr, "recording %s time series at %d VMs...\n", tr, counts[0])
+		ts, err := experiments.RunTimeSeries(experiments.SimConfig{
+			Trace:      tr,
+			Reps:       1,
+			Seed:       *seed,
+			PMsPerType: *pms,
+		}, counts[0])
+		if err != nil {
+			return err
+		}
+		out, err := os.Create(*series)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := ts.WriteCSV(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *series)
+	}
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		for _, sweep := range sweeps {
+			if err := sweep.WriteCSV(out); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+func defaultReps() int {
+	if s := os.Getenv("PRVM_REPS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 10
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad VM count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

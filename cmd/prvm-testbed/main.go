@@ -1,0 +1,120 @@
+// Command prvm-testbed runs the GENI-testbed emulation experiments of
+// the paper (Figures 4(a), 4(b) and 8): a centralized controller
+// assigning jobs to 10 emulated instances over message-passing agents.
+//
+// Usage:
+//
+//	prvm-testbed [-fig all|4a|4b|8] [-jobs 100,200,300] [-reps n]
+//	             [-steps n] [-pms n] [-tcp]
+//
+// -tcp runs the control protocol over real loopback TCP sockets
+// instead of in-memory pipes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pagerankvm/internal/experiments"
+	"pagerankvm/internal/testbed"
+)
+
+var figures = map[string]struct {
+	metric experiments.Metric
+	title  string
+}{
+	"4a": {metric: experiments.MetricPMs, title: "Figure 4(a): PMs used"},
+	"4b": {metric: experiments.MetricMigrations, title: "Figure 4(b): migrations"},
+	"8":  {metric: experiments.MetricSLO, title: "Figure 8: SLO violations"},
+}
+
+var figureOrder = []string{"4a", "4b", "8"}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "prvm-testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("prvm-testbed", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "all", "figure id (4a, 4b, 8) or all")
+		jobs    = fs.String("jobs", "100,200,300", "comma-separated job counts")
+		reps    = fs.Int("reps", 10, "repetitions per point")
+		steps   = fs.Int("steps", 1440, "control intervals (paper: 4h at 10s)")
+		pms     = fs.Int("pms", testbed.DefaultPMs, "emulated instances")
+		seed    = fs.Int64("seed", 1, "base random seed")
+		tcp     = fs.Bool("tcp", false, "use loopback TCP for the control protocol")
+		csvPath = fs.String("csv", "", "also write the sweep data as tidy CSV to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts, err := parseInts(*jobs)
+	if err != nil {
+		return err
+	}
+	wanted := figureOrder
+	if *fig != "all" {
+		if _, ok := figures[*fig]; !ok {
+			return fmt.Errorf("unknown figure %q", *fig)
+		}
+		wanted = []string{*fig}
+	}
+
+	transport := testbed.TransportInMemory
+	if *tcp {
+		transport = testbed.TransportTCP
+	}
+	fmt.Fprintf(os.Stderr, "running testbed sweep: jobs=%v reps=%d steps=%d pms=%d...\n",
+		counts, *reps, *steps, *pms)
+	sweep, err := experiments.RunTestbedSweep(experiments.TestbedConfig{
+		NumJobs:   counts,
+		Reps:      *reps,
+		Seed:      *seed,
+		NumPMs:    *pms,
+		Steps:     *steps,
+		Transport: transport,
+	})
+	if err != nil {
+		return err
+	}
+	for i, id := range wanted {
+		if i > 0 {
+			fmt.Println()
+		}
+		f := figures[id]
+		if err := sweep.WriteFigure(os.Stdout, f.metric, f.title); err != nil {
+			return err
+		}
+	}
+	if *csvPath != "" {
+		out, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := sweep.WriteCSV(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad job count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+// Package pagerankvm is a Go implementation of PageRankVM — "A
+// PageRank Based Algorithm with Anti-Collocation Constraints for
+// Virtual Machine Placement in Cloud Datacenters" (Li, Shen, Miles;
+// ICDCS 2018) — together with everything its evaluation depends on:
+// the profile-graph ranking machinery, the comparison heuristics (FF,
+// FFDSum, CompVM, BestFit), an exact branch-and-bound reference
+// solver, a trace-driven datacenter simulator, synthetic
+// PlanetLab/Google-style workload traces, the Table-III energy model,
+// and a distributed GENI-style testbed emulation (controller + agents
+// over gob/TCP).
+//
+// # Model
+//
+// A physical machine (PM) is a Shape: named groups of identical
+// dimensions — e.g. 8 CPU cores of 4 vCPU slots each, one memory
+// dimension, 4 physical disks. A VM type demands units from those
+// groups; demands with several entries on one group are
+// anti-collocated: each entry must land on a distinct dimension
+// (paper Equ. 3/4 and 8/9). A PM's usage profile is an integer vector
+// over its dimensions.
+//
+// # Ranking
+//
+// BuildJointTable enumerates every canonical usage profile of a shape,
+// wires the "accommodating one VM" edges, and scores the profiles
+// (Algorithm 1). The paper's prose, equation, and worked examples
+// disagree on the rank semantics; all three readings are implemented
+// and selectable via RankOptions.Mode, with the absorption-value
+// reading (the one that reproduces every worked example in the paper
+// and its evaluation claims) as the default. BuildFactoredTable
+// scales the construction to large shapes by ranking each resource
+// group on its own sub-lattice.
+//
+// # Placement
+//
+// NewPageRankVM implements Algorithm 2 over a Registry of per-PM-type
+// rank tables: scan the used PMs, enumerate the distinct
+// anti-collocation outcomes of hosting the VM, and commit to the
+// best-scoring resulting profile. FirstFit, FFDSum, CompVM and
+// BestFit are the paper's comparison algorithms, sharing the same
+// anti-collocation machinery.
+//
+// # Quickstart
+//
+//	shape := pagerankvm.MustShape(pagerankvm.Group{Name: "cpu", Dims: 4, Cap: 4})
+//	types := []pagerankvm.VMType{
+//		pagerankvm.NewVMType("[1,1]", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1}}),
+//		pagerankvm.NewVMType("[1,1,1,1]", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1, 1, 1}}),
+//	}
+//	table, _ := pagerankvm.BuildJointTable(shape, types, pagerankvm.RankOptions{})
+//	reg := pagerankvm.NewRegistry()
+//	reg.Add("host", table)
+//	placer := pagerankvm.NewPageRankVM(reg)
+//
+// See examples/ for runnable programs and DESIGN.md for the full
+// system inventory and the paper-interpretation notes.
+package pagerankvm

@@ -1,0 +1,83 @@
+package pagerankvm_test
+
+import (
+	"fmt"
+
+	"pagerankvm"
+)
+
+// Build the paper's running-example table and read the Figure 2
+// scores.
+func ExampleBuildJointTable() {
+	shape := pagerankvm.MustShape(pagerankvm.Group{Name: "cpu", Dims: 4, Cap: 4})
+	types := []pagerankvm.VMType{
+		pagerankvm.NewVMType("[1,1]", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1}}),
+		pagerankvm.NewVMType("[1,1,1,1]", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1, 1, 1}}),
+	}
+	table, err := pagerankvm.BuildJointTable(shape, types, pagerankvm.RankOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	balanced, _ := table.Score(pagerankvm.Vec{3, 3, 3, 3})
+	skewed, _ := table.Score(pagerankvm.Vec{4, 4, 2, 2})
+	fmt.Printf("[3,3,3,3] %.5f\n[4,4,2,2] %.5f\n", balanced, skewed)
+	// Output:
+	// [3,3,3,3] 0.78625
+	// [4,4,2,2] 0.72250
+}
+
+// Place a VM with Algorithm 2.
+func ExampleNewPageRankVM() {
+	shape := pagerankvm.MustShape(pagerankvm.Group{Name: "cpu", Dims: 4, Cap: 4})
+	vt := pagerankvm.NewVMType("[1,1]", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1}})
+	table, err := pagerankvm.BuildJointTable(shape, []pagerankvm.VMType{vt}, pagerankvm.RankOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	reg := pagerankvm.NewRegistry()
+	reg.Add("host", table)
+
+	placer := pagerankvm.NewPageRankVM(reg, pagerankvm.WithSeed(1))
+	cluster := pagerankvm.NewCluster([]*pagerankvm.PM{pagerankvm.NewPM(0, "host", shape)})
+	vm := &pagerankvm.VM{ID: 1, Type: "[1,1]", Req: map[string]pagerankvm.VMType{"host": vt}}
+
+	pm, assign, err := placer.Place(cluster, vm, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := cluster.Host(pm, vm, assign); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(pm.Used().Sum(), "units on pm", pm.ID)
+	// Output:
+	// 2 units on pm 0
+}
+
+// Enumerate the anti-collocating placements of a VM.
+func ExamplePlacements() {
+	shape := pagerankvm.MustShape(pagerankvm.Group{Name: "cpu", Dims: 4, Cap: 4})
+	vt := pagerankvm.NewVMType("[1,1]", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1}})
+	outcomes := pagerankvm.Placements(shape, pagerankvm.Vec{3, 3, 2, 2}, vt)
+	for _, pl := range outcomes {
+		fmt.Println(shape.Canon(pl.Result))
+	}
+	// Unordered output:
+	// [2,2,4,4]
+	// [2,3,3,4]
+	// [3,3,3,3]
+}
+
+// Quantize physical amounts into integer units.
+func ExampleQuantize() {
+	// A 0.7 GHz vCPU on a host whose core slot is 0.65 GHz.
+	fmt.Println(pagerankvm.Quantize(0.7, 0.65))
+	// A 64 GiB host at a 3.75 GiB memory quantum.
+	fmt.Println(pagerankvm.QuantizeCap(64, 3.75))
+	// Output:
+	// 2
+	// 17
+}

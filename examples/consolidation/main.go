@@ -1,0 +1,173 @@
+// Consolidation: an EC2-style datacenter (Table I/II catalogs built
+// through the public quantization helpers) receiving tenant batches of
+// VMs, placed by all four algorithms, then driven through a 24-hour
+// trace-driven simulation. Prints PMs used, energy, migrations and SLO
+// violations per algorithm — a single-run miniature of the paper's
+// Figures 3/5/6/7.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"pagerankvm"
+)
+
+const (
+	vcpusPerCore = 4
+	memQuantum   = 3.75 // GiB
+	diskQuantum  = 8.0  // GB
+)
+
+type pmSpec struct {
+	name    string
+	cores   int
+	coreGHz float64
+	memGiB  float64
+	disks   int
+	diskGB  float64
+	power   *pagerankvm.EnergyModel
+}
+
+type vmSpec struct {
+	name    string
+	vcpus   int
+	vcpuGHz float64
+	memGiB  float64
+	vdisks  int
+	vdiskGB float64
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	pmSpecs := []pmSpec{
+		{name: "M3", cores: 8, coreGHz: 2.6, memGiB: 64, disks: 4, diskGB: 250, power: pagerankvm.PowerModelE52670()},
+		{name: "C3", cores: 8, coreGHz: 2.8, memGiB: 60, disks: 4, diskGB: 250, power: pagerankvm.PowerModelE52680()},
+	}
+	vmSpecs := []vmSpec{
+		{name: "m3.medium", vcpus: 1, vcpuGHz: 0.6, memGiB: 3.75, vdisks: 1, vdiskGB: 4},
+		{name: "m3.large", vcpus: 2, vcpuGHz: 0.6, memGiB: 7.5, vdisks: 1, vdiskGB: 32},
+		{name: "m3.xlarge", vcpus: 4, vcpuGHz: 0.6, memGiB: 15, vdisks: 2, vdiskGB: 40},
+		{name: "c3.large", vcpus: 2, vcpuGHz: 0.7, memGiB: 3.75, vdisks: 2, vdiskGB: 16},
+		{name: "c3.xlarge", vcpus: 4, vcpuGHz: 0.7, memGiB: 7.5, vdisks: 2, vdiskGB: 40},
+	}
+
+	// Shapes and per-PM-type quantized demands.
+	shapes := map[string]*pagerankvm.Shape{}
+	demands := map[string]map[string]pagerankvm.VMType{}
+	models := map[string]*pagerankvm.EnergyModel{}
+	for _, p := range pmSpecs {
+		shape, err := pagerankvm.NewShape(
+			pagerankvm.Group{Name: "cpu", Dims: p.cores, Cap: vcpusPerCore},
+			pagerankvm.Group{Name: "mem", Dims: 1, Cap: pagerankvm.QuantizeCap(p.memGiB, memQuantum)},
+			pagerankvm.Group{Name: "disk", Dims: p.disks, Cap: pagerankvm.QuantizeCap(p.diskGB, diskQuantum)},
+		)
+		if err != nil {
+			return err
+		}
+		shapes[p.name] = shape
+		models[p.name] = p.power
+		byVM := map[string]pagerankvm.VMType{}
+		quantum := p.coreGHz / vcpusPerCore
+		for _, v := range vmSpecs {
+			cpu := make([]int, v.vcpus)
+			for i := range cpu {
+				cpu[i] = pagerankvm.Quantize(v.vcpuGHz, quantum)
+			}
+			dsk := make([]int, v.vdisks)
+			for i := range dsk {
+				dsk[i] = pagerankvm.Quantize(v.vdiskGB, diskQuantum)
+			}
+			byVM[v.name] = pagerankvm.NewVMType(v.name,
+				pagerankvm.Demand{Group: "cpu", Units: cpu},
+				pagerankvm.Demand{Group: "mem", Units: []int{pagerankvm.Quantize(v.memGiB, memQuantum)}},
+				pagerankvm.Demand{Group: "disk", Units: dsk},
+			)
+		}
+		demands[p.name] = byVM
+	}
+
+	// One factored ranker per PM type.
+	reg := pagerankvm.NewRegistry()
+	for name, shape := range shapes {
+		var types []pagerankvm.VMType
+		for _, d := range demands[name] {
+			if d.Validate(shape) == nil {
+				types = append(types, d)
+			}
+		}
+		ranker, err := pagerankvm.BuildFactoredTable(shape, types, pagerankvm.RankOptions{})
+		if err != nil {
+			return err
+		}
+		reg.Add(name, ranker)
+	}
+
+	// A tenant-batched request stream with PlanetLab-style traces.
+	const (
+		numVMs = 400
+		steps  = 288
+	)
+	gen := pagerankvm.PlanetLabTrace{Seed: 7}
+	rng := rand.New(rand.NewSource(7))
+	var workloads []pagerankvm.Workload
+	for len(workloads) < numVMs {
+		spec := vmSpecs[rng.Intn(len(vmSpecs))]
+		batch := 1 + rng.Intn(8)
+		for b := 0; b < batch && len(workloads) < numVMs; b++ {
+			id := len(workloads)
+			req := map[string]pagerankvm.VMType{}
+			for pmName := range shapes {
+				req[pmName] = demands[pmName][spec.name]
+			}
+			workloads = append(workloads, pagerankvm.Workload{
+				VM:    &pagerankvm.VM{ID: id, Type: spec.name, Req: req},
+				Trace: gen.Series(id, steps),
+			})
+		}
+	}
+
+	newCluster := func() *pagerankvm.Cluster {
+		var pms []*pagerankvm.PM
+		for i := 0; i < 150; i++ {
+			for _, p := range pmSpecs {
+				pms = append(pms, pagerankvm.NewPM(len(pms), p.name, shapes[p.name]))
+			}
+		}
+		return pagerankvm.NewCluster(pms)
+	}
+
+	prvm := pagerankvm.NewPageRankVM(reg, pagerankvm.WithSeed(7))
+	algorithms := []struct {
+		placer  pagerankvm.Placer
+		evictor pagerankvm.Evictor
+	}{
+		{placer: prvm, evictor: pagerankvm.RankEvictor{Placer: prvm}},
+		{placer: pagerankvm.FirstFit{}, evictor: pagerankvm.MMTEvictor{}},
+		{placer: pagerankvm.FFDSum{}, evictor: pagerankvm.MMTEvictor{}},
+		{placer: pagerankvm.CompVM{}, evictor: pagerankvm.MMTEvictor{}},
+	}
+	fmt.Printf("%-12s %8s %12s %12s %8s\n", "algorithm", "PMs", "energy kWh", "migrations", "SLO %")
+	for _, alg := range algorithms {
+		s, err := pagerankvm.NewSimulation(
+			pagerankvm.SimConfig{Interval: 300 * time.Second, Horizon: 24 * time.Hour},
+			newCluster(), alg.placer, alg.evictor, models, workloads)
+		if err != nil {
+			return err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %8d %12.1f %12d %8.2f\n",
+			alg.placer.Name(), res.PMsUsed, res.EnergyKWh, res.Migrations, res.SLOViolationPct)
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Exact gap: on small instances the Section-IV MIP can be solved to
+// optimality by branch and bound. This example measures the optimality
+// gap of every heuristic (how many more PMs than the optimum each one
+// uses) across a batch of random instances — the reason the paper
+// argues for a cheap heuristic is that this exact search explodes far
+// beyond testbed scale.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pagerankvm"
+)
+
+const pmType = "host"
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	shape, err := pagerankvm.NewShape(
+		pagerankvm.Group{Name: "cpu", Dims: 4, Cap: 4},
+		pagerankvm.Group{Name: "mem", Dims: 1, Cap: 8},
+	)
+	if err != nil {
+		return err
+	}
+	types := []pagerankvm.VMType{
+		pagerankvm.NewVMType("small",
+			pagerankvm.Demand{Group: "cpu", Units: []int{1, 1}},
+			pagerankvm.Demand{Group: "mem", Units: []int{2}}),
+		pagerankvm.NewVMType("wide",
+			pagerankvm.Demand{Group: "cpu", Units: []int{1, 1, 1, 1}},
+			pagerankvm.Demand{Group: "mem", Units: []int{2}}),
+		pagerankvm.NewVMType("fat",
+			pagerankvm.Demand{Group: "cpu", Units: []int{3, 3}},
+			pagerankvm.Demand{Group: "mem", Units: []int{3}}),
+		pagerankvm.NewVMType("chunky",
+			pagerankvm.Demand{Group: "cpu", Units: []int{2}},
+			pagerankvm.Demand{Group: "mem", Units: []int{5}}),
+	}
+	table, err := pagerankvm.BuildJointTable(shape, types, pagerankvm.RankOptions{})
+	if err != nil {
+		return err
+	}
+	reg := pagerankvm.NewRegistry()
+	reg.Add(pmType, table)
+
+	newPMs := func(n int) []*pagerankvm.PM {
+		pms := make([]*pagerankvm.PM, n)
+		for i := range pms {
+			pms[i] = pagerankvm.NewPM(i, pmType, shape)
+		}
+		return pms
+	}
+
+	placers := []pagerankvm.Placer{
+		pagerankvm.NewPageRankVM(reg, pagerankvm.WithSeed(1)),
+		pagerankvm.FirstFit{},
+		pagerankvm.FFDSum{},
+		pagerankvm.CompVM{},
+		pagerankvm.BestFit{},
+	}
+	extraPMs := map[string]int{}
+	totalOptimal := 0
+	searchNodes := 0
+
+	const instances = 25
+	rng := rand.New(rand.NewSource(11))
+	for inst := 0; inst < instances; inst++ {
+		n := 6 + rng.Intn(7)
+		var vms []*pagerankvm.VM
+		for i := 0; i < n; i++ {
+			vt := types[rng.Intn(len(types))]
+			vms = append(vms, &pagerankvm.VM{
+				ID:   i,
+				Type: vt.Name,
+				Req:  map[string]pagerankvm.VMType{pmType: vt},
+			})
+		}
+		sol, err := pagerankvm.SolveExact(newPMs(6), vms, pagerankvm.ExactOptions{})
+		if errors.Is(err, pagerankvm.ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		totalOptimal += sol.PMsUsed
+		searchNodes += sol.Nodes
+
+		for _, p := range placers {
+			cluster := pagerankvm.NewCluster(newPMs(6))
+			queue := append([]*pagerankvm.VM(nil), vms...)
+			if o, ok := p.(interface{ OrderVMs([]*pagerankvm.VM) }); ok {
+				o.OrderVMs(queue)
+			}
+			for _, vm := range queue {
+				pm, assign, err := p.Place(cluster, vm, nil)
+				if err != nil {
+					return fmt.Errorf("%s on instance %d: %w", p.Name(), inst, err)
+				}
+				if err := cluster.Host(pm, vm, assign); err != nil {
+					return err
+				}
+			}
+			extraPMs[p.Name()] += cluster.NumUsed() - sol.PMsUsed
+		}
+	}
+
+	fmt.Printf("%d random instances, optimal total %d PMs (%d search nodes)\n",
+		instances, totalOptimal, searchNodes)
+	fmt.Printf("%-12s %s\n", "heuristic", "extra PMs vs optimum")
+	for _, p := range placers {
+		fmt.Printf("%-12s %d\n", p.Name(), extraPMs[p.Name()])
+	}
+	return nil
+}

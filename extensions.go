@@ -1,0 +1,42 @@
+package pagerankvm
+
+import (
+	"pagerankvm/internal/network"
+	"pagerankvm/internal/placement"
+)
+
+// Network-aware placement (internal/network): the paper's stated
+// future work — bandwidth efficiency via rack-affinity tie-breaking.
+type (
+	// Topology groups PMs into racks.
+	Topology = network.Topology
+	// Traffic is a symmetric inter-VM bandwidth matrix.
+	Traffic = network.Traffic
+	// NetworkAwarePlacer decorates PageRankVM with rack affinity.
+	NetworkAwarePlacer = network.Placer
+)
+
+// NewTopology assigns the PMs to racks of rackSize in inventory order.
+func NewTopology(pms []*PM, rackSize int) (*Topology, error) {
+	return network.NewTopology(pms, rackSize)
+}
+
+// NewTraffic returns an empty traffic matrix.
+func NewTraffic() *Traffic { return network.NewTraffic() }
+
+// TenantTraffic builds all-pairs intra-tenant flows.
+func TenantTraffic(groups [][]int, rate float64) *Traffic {
+	return network.TenantTraffic(groups, rate)
+}
+
+// CrossRackTraffic sums the traffic crossing rack boundaries under the
+// cluster's current assignment.
+func CrossRackTraffic(c *Cluster, topo *Topology, tr *Traffic) float64 {
+	return network.CrossRack(c, topo, tr)
+}
+
+// NewNetworkAwarePlacer wraps a PageRankVM placer with rack-affinity
+// tie-breaking (tolerance 0 selects the default 0.1).
+func NewNetworkAwarePlacer(inner *placement.PageRankVM, topo *Topology, tr *Traffic, tolerance float64) *NetworkAwarePlacer {
+	return &network.Placer{Inner: inner, Topo: topo, Traffic: tr, Tolerance: tolerance}
+}

@@ -1,0 +1,84 @@
+package pagerankvm_test
+
+import (
+	"testing"
+
+	"pagerankvm"
+)
+
+func TestFacadeNetworkExtension(t *testing.T) {
+	shape := pagerankvm.MustShape(pagerankvm.Group{Name: "cpu", Dims: 4, Cap: 4})
+	vt := pagerankvm.NewVMType("[1,1]", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1}})
+	table, err := pagerankvm.BuildJointTable(shape, []pagerankvm.VMType{vt}, pagerankvm.RankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := pagerankvm.NewRegistry()
+	reg.Add("h", table)
+
+	pms := []*pagerankvm.PM{
+		pagerankvm.NewPM(0, "h", shape),
+		pagerankvm.NewPM(1, "h", shape),
+		pagerankvm.NewPM(2, "h", shape),
+		pagerankvm.NewPM(3, "h", shape),
+	}
+	cluster := pagerankvm.NewCluster(pms)
+	topo, err := pagerankvm.NewTopology(pms, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := pagerankvm.TenantTraffic([][]int{{0, 1, 2}}, 5)
+	if traffic.Between(0, 2) != 5 {
+		t.Fatal("tenant traffic missing")
+	}
+
+	inner := pagerankvm.NewPageRankVM(reg, pagerankvm.WithSeed(1))
+	placer := pagerankvm.NewNetworkAwarePlacer(inner, topo, traffic, 0.2)
+	for i := 0; i < 3; i++ {
+		vm := &pagerankvm.VM{ID: i, Type: "[1,1]", Req: map[string]pagerankvm.VMType{"h": vt}}
+		pm, assign, err := placer.Place(cluster, vm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.Host(pm, vm, assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One tenant, freshly consolidated: no cross-rack traffic.
+	if got := pagerankvm.CrossRackTraffic(cluster, topo, traffic); got != 0 {
+		t.Fatalf("CrossRackTraffic = %v, want 0", got)
+	}
+}
+
+func TestFacadeTestbed(t *testing.T) {
+	reg, err := pagerankvm.TestbedRegistry(pagerankvm.RankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placer := pagerankvm.NewPageRankVM(reg, pagerankvm.WithSeed(1))
+	evictor := pagerankvm.RankEvictor{Placer: placer}
+
+	h, err := pagerankvm.LaunchTestbed(2, pagerankvm.TestbedInMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := pagerankvm.GenTestbedJobs(pagerankvm.TestbedJobConfig{
+		NumJobs: 8, Steps: 30, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := pagerankvm.NewTestbedController(
+		pagerankvm.TestbedConfig{Steps: 30}, h, placer, evictor, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	if res.PMsUsed <= 0 {
+		t.Fatalf("result %+v", res)
+	}
+}

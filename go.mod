@@ -1,0 +1,3 @@
+module pagerankvm
+
+go 1.22

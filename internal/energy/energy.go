@@ -1,0 +1,132 @@
+// Package energy implements the paper's Table III power model: power
+// consumption of the M3 (Intel Xeon E5-2670) and C3 (E5-2680) hosts as
+// a piecewise-linear function of CPU utilization, and the cumulative
+// energy accounting used by the Figure 5 experiments.
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Model maps CPU utilization in [0, 1] to power draw in watts by
+// linear interpolation between measured breakpoints.
+type Model struct {
+	name  string
+	utils []float64 // ascending, includes 0 and 1
+	watts []float64
+}
+
+// NewModel builds a model from breakpoint pairs. Breakpoints are
+// sorted; at least two are required, and the first/last must cover 0
+// and 1.
+func NewModel(name string, points map[float64]float64) (*Model, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("energy: model %q needs at least 2 breakpoints", name)
+	}
+	m := &Model{name: name}
+	for u := range points {
+		m.utils = append(m.utils, u)
+	}
+	sort.Float64s(m.utils)
+	if m.utils[0] != 0 || m.utils[len(m.utils)-1] != 1 {
+		return nil, fmt.Errorf("energy: model %q breakpoints must span [0,1]", name)
+	}
+	m.watts = make([]float64, len(m.utils))
+	for i, u := range m.utils {
+		m.watts[i] = points[u]
+	}
+	return m, nil
+}
+
+// Name returns the model name (the Table III column header).
+func (m *Model) Name() string { return m.name }
+
+// Power returns the interpolated power draw in watts at CPU
+// utilization u (clamped into [0, 1]).
+func (m *Model) Power(u float64) float64 {
+	if u <= 0 {
+		return m.watts[0]
+	}
+	if u >= 1 {
+		return m.watts[len(m.watts)-1]
+	}
+	i := sort.SearchFloat64s(m.utils, u)
+	if m.utils[i] == u {
+		return m.watts[i]
+	}
+	lo, hi := i-1, i
+	frac := (u - m.utils[lo]) / (m.utils[hi] - m.utils[lo])
+	return m.watts[lo] + frac*(m.watts[hi]-m.watts[lo])
+}
+
+// Breakpoints returns the (utilization, watts) pairs in ascending
+// utilization order — the Table III row for this model.
+func (m *Model) Breakpoints() (utils, watts []float64) {
+	u := make([]float64, len(m.utils))
+	w := make([]float64, len(m.watts))
+	copy(u, m.utils)
+	copy(w, m.watts)
+	return u, w
+}
+
+// Table III of the paper: power consumption (W) versus CPU utilization
+// for the two host processors.
+var (
+	tableE52670 = map[float64]float64{
+		0.0: 337.3, 0.2: 349.2, 0.4: 363.6, 0.6: 378.0, 0.8: 396.0, 1.0: 417.6,
+	}
+	tableE52680 = map[float64]float64{
+		0.0: 394.4, 0.2: 408.3, 0.4: 425.2, 0.6: 442.0, 0.8: 463.1, 1.0: 488.3,
+	}
+)
+
+// E52670 returns the Table III model for the M3 host's processor.
+func E52670() *Model {
+	m, err := NewModel("E5-2670", tableE52670)
+	if err != nil {
+		panic(err) // static table, validated by tests
+	}
+	return m
+}
+
+// E52680 returns the Table III model for the C3 host's processor.
+func E52680() *Model {
+	m, err := NewModel("E5-2680", tableE52680)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ByName returns the Table III model with the given name.
+func ByName(name string) (*Model, error) {
+	switch name {
+	case "E5-2670":
+		return E52670(), nil
+	case "E5-2680":
+		return E52680(), nil
+	default:
+		return nil, fmt.Errorf("energy: unknown power model %q", name)
+	}
+}
+
+// Meter accumulates energy over a simulation. Only active PMs consume
+// power; an idle (off) PM consumes none, which is the whole point of
+// consolidation.
+type Meter struct {
+	joules float64
+}
+
+// Accumulate adds the energy of one PM running at CPU utilization u
+// for the given interval under model m.
+func (e *Meter) Accumulate(m *Model, u float64, interval time.Duration) {
+	e.joules += m.Power(u) * interval.Seconds()
+}
+
+// Joules returns the total accumulated energy.
+func (e *Meter) Joules() float64 { return e.joules }
+
+// KWh returns the total in kilowatt-hours, the unit of Figure 5.
+func (e *Meter) KWh() float64 { return e.joules / 3.6e6 }

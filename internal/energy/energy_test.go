@@ -1,0 +1,118 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTableIIIBreakpoints(t *testing.T) {
+	tests := []struct {
+		model *Model
+		give  float64
+		want  float64
+	}{
+		{model: E52670(), give: 0.0, want: 337.3},
+		{model: E52670(), give: 0.2, want: 349.2},
+		{model: E52670(), give: 0.4, want: 363.6},
+		{model: E52670(), give: 0.6, want: 378.0},
+		{model: E52670(), give: 0.8, want: 396.0},
+		{model: E52670(), give: 1.0, want: 417.6},
+		{model: E52680(), give: 0.0, want: 394.4},
+		{model: E52680(), give: 0.2, want: 408.3},
+		{model: E52680(), give: 0.4, want: 425.2},
+		{model: E52680(), give: 0.6, want: 442.0},
+		{model: E52680(), give: 0.8, want: 463.1},
+		{model: E52680(), give: 1.0, want: 488.3},
+	}
+	for _, tt := range tests {
+		if got := tt.model.Power(tt.give); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("%s.Power(%v) = %v, want %v", tt.model.Name(), tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestPowerInterpolation(t *testing.T) {
+	m := E52670()
+	// Midway between 0.0 (337.3) and 0.2 (349.2).
+	want := (337.3 + 349.2) / 2
+	if got := m.Power(0.1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Power(0.1) = %v, want %v", got, want)
+	}
+}
+
+func TestPowerClamped(t *testing.T) {
+	m := E52680()
+	if got := m.Power(-0.5); got != 394.4 {
+		t.Errorf("Power(-0.5) = %v", got)
+	}
+	if got := m.Power(2); got != 488.3 {
+		t.Errorf("Power(2) = %v", got)
+	}
+}
+
+func TestPowerMonotone(t *testing.T) {
+	for _, m := range []*Model{E52670(), E52680()} {
+		prev := -1.0
+		for u := 0.0; u <= 1.0001; u += 0.01 {
+			p := m.Power(u)
+			if p < prev {
+				t.Fatalf("%s not monotone at u=%v", m.Name(), u)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel("x", map[float64]float64{0: 1}); err == nil {
+		t.Error("accepted single breakpoint")
+	}
+	if _, err := NewModel("x", map[float64]float64{0.1: 1, 0.9: 2}); err == nil {
+		t.Error("accepted breakpoints not spanning [0,1]")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"E5-2670", "E5-2680"} {
+		m, err := ByName(name)
+		if err != nil || m.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	if _, err := ByName("E5-9999"); err == nil {
+		t.Error("accepted unknown model")
+	}
+}
+
+func TestBreakpointsCopy(t *testing.T) {
+	m := E52670()
+	u, w := m.Breakpoints()
+	if len(u) != 6 || len(w) != 6 {
+		t.Fatalf("breakpoints %d/%d", len(u), len(w))
+	}
+	u[0] = 99
+	w[0] = 99
+	if m.Power(0) != 337.3 {
+		t.Fatal("Breakpoints aliases internals")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	var meter Meter
+	m := E52670()
+	// One hour idle: 337.3 W * 3600 s.
+	meter.Accumulate(m, 0, time.Hour)
+	wantJ := 337.3 * 3600
+	if math.Abs(meter.Joules()-wantJ) > 1e-6 {
+		t.Fatalf("Joules = %v, want %v", meter.Joules(), wantJ)
+	}
+	if math.Abs(meter.KWh()-wantJ/3.6e6) > 1e-12 {
+		t.Fatalf("KWh = %v", meter.KWh())
+	}
+	// Energy is monotone.
+	meter.Accumulate(m, 1, 5*time.Minute)
+	if meter.Joules() <= wantJ {
+		t.Fatal("energy not monotone")
+	}
+}

@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+
+	"pagerankvm/internal/energy"
+	"pagerankvm/internal/metrics"
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/sim"
+	"pagerankvm/internal/trace"
+)
+
+// Algorithms evaluated in the paper, in its presentation order.
+var AlgorithmNames = []string{"PageRankVM", "FF", "FFDSum", "CompVM"}
+
+// SimConfig parameterizes the simulation sweeps behind Figures 3, 5,
+// 6 and 7.
+type SimConfig struct {
+	// Trace is "planetlab" or "google".
+	Trace string
+	// NumVMs are the sweep points; the paper uses 1000, 2000, 3000.
+	NumVMs []int
+	// Reps is the number of repetitions per point (the paper: 100).
+	Reps int
+	// Seed is the base seed; repetition r of a point uses Seed+r.
+	Seed int64
+	// PMsPerType sizes the inventory (per Table II type).
+	PMsPerType int
+	// Workload tunes the request stream; NumVMs/Seed/Steps are
+	// overridden per point.
+	Workload WorkloadConfig
+	// Rank tunes the Profile→score tables.
+	Rank ranktable.Options
+	// Underload, when positive, enables the simulator's dynamic
+	// consolidation at that utilization threshold (an extension; the
+	// paper's setup leaves it off).
+	Underload float64
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Trace == "" {
+		c.Trace = "planetlab"
+	}
+	if len(c.NumVMs) == 0 {
+		c.NumVMs = []int{1000, 2000, 3000}
+	}
+	if c.Reps == 0 {
+		c.Reps = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.PMsPerType == 0 {
+		c.PMsPerType = 400
+	}
+	return c
+}
+
+// SimCell is one (algorithm, numVMs) cell of a sweep: the four
+// metric summaries over the repetitions.
+type SimCell struct {
+	Algorithm  string
+	NumVMs     int
+	PMsUsed    metrics.Summary
+	EnergyKWh  metrics.Summary
+	Migrations metrics.Summary
+	SLOPct     metrics.Summary
+}
+
+// SimSweep holds the full grid for one trace — the data behind one
+// column of Figures 3, 5, 6 and 7.
+type SimSweep struct {
+	Trace string
+	Cells []SimCell
+}
+
+// RunSimSweep runs the paper's simulation grid: every algorithm at
+// every VM count, Reps times each, and summarizes the four metrics.
+func RunSimSweep(cfg SimConfig) (*SimSweep, error) {
+	cfg = cfg.withDefaults()
+	cat, err := AmazonCatalog()
+	if err != nil {
+		return nil, err
+	}
+	reg, err := cat.BuildRegistry(cfg.Rank)
+	if err != nil {
+		return nil, err
+	}
+	models := map[string]*energy.Model{}
+	for _, pm := range cat.PMs {
+		m, err := energy.ByName(pm.Power)
+		if err != nil {
+			return nil, err
+		}
+		models[pm.Name] = m
+	}
+
+	sweep := &SimSweep{Trace: cfg.Trace}
+	for _, n := range cfg.NumVMs {
+		results := make(map[string]*simAccum, len(AlgorithmNames))
+		for _, name := range AlgorithmNames {
+			results[name] = &simAccum{}
+		}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			seed := cfg.Seed + int64(rep)
+			gen, err := trace.ByName(cfg.Trace, seed)
+			if err != nil {
+				return nil, err
+			}
+			wcfg := cfg.Workload
+			wcfg.NumVMs = n
+			wcfg.Seed = seed
+			wcfg.Steps = sim.Config{}.Steps()
+			workloads, err := cat.GenWorkloads(gen, wcfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range AlgorithmNames {
+				placer, evictor := buildAlgorithm(name, reg, seed)
+				cluster := cat.BuildCluster(cfg.PMsPerType)
+				// Workloads are stateless inputs; a fresh copy of the
+				// VM structs is not needed because placement never
+				// mutates them, but each run needs its own cluster.
+				s, err := sim.New(sim.Config{UnderloadThreshold: cfg.Underload},
+					cluster, placer, evictor, models, workloads)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s n=%d rep=%d: %w", name, n, rep, err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s n=%d rep=%d: %w", name, n, rep, err)
+				}
+				results[name].add(res)
+			}
+		}
+		for _, name := range AlgorithmNames {
+			a := results[name]
+			sweep.Cells = append(sweep.Cells, SimCell{
+				Algorithm:  name,
+				NumVMs:     n,
+				PMsUsed:    metrics.Summarize(a.pms),
+				EnergyKWh:  metrics.Summarize(a.energy),
+				Migrations: metrics.Summarize(a.migr),
+				SLOPct:     metrics.Summarize(a.slo),
+			})
+		}
+	}
+	return sweep, nil
+}
+
+type simAccum struct {
+	pms, energy, migr, slo []float64
+}
+
+func (a *simAccum) add(r sim.Result) {
+	a.pms = append(a.pms, float64(r.PMsUsed))
+	a.energy = append(a.energy, r.EnergyKWh)
+	a.migr = append(a.migr, float64(r.Migrations))
+	a.slo = append(a.slo, r.SLOViolationPct)
+}
+
+// buildAlgorithm instantiates the placer and eviction policy for one
+// of the paper's four algorithms. Baselines use CloudSim's default
+// minimum-migration-time eviction, as the paper prescribes.
+func buildAlgorithm(name string, reg *ranktable.Registry, seed int64) (placement.Placer, placement.Evictor) {
+	switch name {
+	case "FF":
+		return placement.FirstFit{}, placement.MMTEvictor{}
+	case "FFDSum":
+		return placement.FFDSum{}, placement.MMTEvictor{}
+	case "CompVM":
+		return placement.CompVM{}, placement.MMTEvictor{}
+	default: // PageRankVM
+		p := placement.NewPageRankVM(reg, placement.WithSeed(seed))
+		return p, placement.RankEvictor{Placer: p}
+	}
+}
+
+// Metric identifies one of the four reported metrics.
+type Metric int
+
+const (
+	MetricPMs Metric = iota
+	MetricEnergy
+	MetricMigrations
+	MetricSLO
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricPMs:
+		return "PMs used"
+	case MetricEnergy:
+		return "energy (kWh)"
+	case MetricMigrations:
+		return "VM migrations"
+	default:
+		return "SLO violations (%)"
+	}
+}
+
+// Summary extracts one metric's summary from a cell.
+func (c SimCell) Summary(m Metric) metrics.Summary {
+	switch m {
+	case MetricPMs:
+		return c.PMsUsed
+	case MetricEnergy:
+		return c.EnergyKWh
+	case MetricMigrations:
+		return c.Migrations
+	default:
+		return c.SLOPct
+	}
+}
+
+// WriteFigure renders one figure's data (one metric of the sweep) as
+// the median [p1, p99] series the paper plots.
+func (s *SimSweep) WriteFigure(w io.Writer, m Metric, title string) error {
+	if _, err := fmt.Fprintf(w, "%s — %s trace, metric: %s\n", title, s.Trace, m); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	counts := s.vmCounts()
+	fmt.Fprint(tw, "algorithm")
+	for _, n := range counts {
+		fmt.Fprintf(tw, "\t%d VMs", n)
+	}
+	fmt.Fprintln(tw)
+	for _, alg := range AlgorithmNames {
+		fmt.Fprint(tw, alg)
+		for _, n := range counts {
+			cell, ok := s.cell(alg, n)
+			if !ok {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			sum := cell.Summary(m)
+			fmt.Fprintf(tw, "\t%.1f [%.1f, %.1f]", sum.Median, sum.P1, sum.P99)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// WriteCSV emits the sweep in tidy form — one row per (algorithm,
+// numVMs, metric) with median and percentile columns — ready for any
+// plotting tool.
+func (s *SimSweep) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"trace", "algorithm", "num_vms", "metric", "median", "p1", "p99", "reps"}); err != nil {
+		return err
+	}
+	for _, c := range s.Cells {
+		for _, m := range []Metric{MetricPMs, MetricEnergy, MetricMigrations, MetricSLO} {
+			sum := c.Summary(m)
+			rec := []string{
+				s.Trace,
+				c.Algorithm,
+				strconv.Itoa(c.NumVMs),
+				m.String(),
+				formatFloat(sum.Median),
+				formatFloat(sum.P1),
+				formatFloat(sum.P99),
+				strconv.Itoa(sum.N),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', 8, 64) }
+
+func (s *SimSweep) vmCounts() []int {
+	seen := map[int]bool{}
+	var counts []int
+	for _, c := range s.Cells {
+		if !seen[c.NumVMs] {
+			seen[c.NumVMs] = true
+			counts = append(counts, c.NumVMs)
+		}
+	}
+	sort.Ints(counts)
+	return counts
+}
+
+func (s *SimSweep) cell(alg string, n int) (SimCell, bool) {
+	for _, c := range s.Cells {
+		if c.Algorithm == alg && c.NumVMs == n {
+			return c, true
+		}
+	}
+	return SimCell{}, false
+}

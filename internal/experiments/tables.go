@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"pagerankvm/internal/energy"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+)
+
+// WriteTable1 renders Table I (the VM type catalog).
+func WriteTable1(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Table I — description of VM types"); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "VM type\tvCPUs\tvCPU GHz\tmemory GiB\tvdisks\tvdisk GB")
+	for _, vm := range AmazonVMTypes() {
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.2f\t%d\t%.0f\n",
+			vm.Name, vm.VCPUs, vm.VCPUGHz, vm.MemGiB, vm.VDisks, vm.VDiskGB)
+	}
+	return tw.Flush()
+}
+
+// WriteTable2 renders Table II (the PM type catalog) together with the
+// derived quantized shapes.
+func WriteTable2(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Table II — description of PM types"); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PM type\tcores\tcore GHz\tmemory GiB\tdisks\tdisk GB\tpower model\tshape (units)")
+	for _, pm := range AmazonPMTypes() {
+		shape, err := pm.Shape()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%d\t%.0f\t%s\t%dx cpu cap %d, mem cap %d, %dx disk cap %d\n",
+			pm.Name, pm.Cores, pm.CoreGHz, pm.MemGiB, pm.Disks, pm.DiskGB, pm.Power,
+			shape.Group(0).Dims, shape.Group(0).Cap,
+			shape.Group(1).Cap,
+			shape.Group(2).Dims, shape.Group(2).Cap)
+	}
+	return tw.Flush()
+}
+
+// WriteTable3 renders Table III (power versus CPU utilization).
+func WriteTable3(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "Table III — power consumption vs. CPU utilization"); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	models := []*energy.Model{energy.E52670(), energy.E52680()}
+	utils, _ := models[0].Breakpoints()
+	fmt.Fprint(tw, "CPU util.")
+	for _, u := range utils {
+		fmt.Fprintf(tw, "\t%.0f%%", 100*u)
+	}
+	fmt.Fprintln(tw)
+	for _, m := range models {
+		fmt.Fprintf(tw, "%s (W)", m.Name())
+		for _, u := range utils {
+			fmt.Fprintf(tw, "\t%.1f", m.Power(u))
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Figure1Profiles are the example profiles whose ranks Figure 1 and
+// the Section III/V discussions reference.
+func Figure1Profiles() []resource.Vec {
+	return []resource.Vec{
+		{4, 4, 4, 4}, {4, 4, 3, 3}, {3, 3, 3, 3}, {4, 4, 2, 2},
+		{4, 3, 3, 3}, {3, 3, 2, 2}, {2, 2, 2, 2}, {1, 1, 1, 1},
+		{1, 1, 0, 0}, {0, 0, 0, 0},
+	}
+}
+
+// PaperExampleTable builds the Profile→score table of the paper's
+// running example: a PM with capacity [4,4,4,4] and the VM type set
+// {[1,1],[1,1,1,1]}.
+func PaperExampleTable(opts ranktable.Options) (*ranktable.Table, error) {
+	shape, err := resource.NewShape(resource.Group{Name: GroupCPU, Dims: 4, Cap: 4})
+	if err != nil {
+		return nil, err
+	}
+	types := []resource.VMType{
+		resource.NewVMType("[1,1]", resource.Demand{Group: GroupCPU, Units: []int{1, 1}}),
+		resource.NewVMType("[1,1,1,1]", resource.Demand{Group: GroupCPU, Units: []int{1, 1, 1, 1}}),
+	}
+	return ranktable.NewJoint(shape, types, opts)
+}
+
+// WriteFigure1 renders the rank values of the example profiles (the
+// paper's Figure 1 PageRank graph annotations).
+func WriteFigure1(w io.Writer, opts ranktable.Options) error {
+	table, err := PaperExampleTable(opts)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Figure 1 — rank values of PM profiles (capacity [4,4,4,4], VM types {[1,1],[1,1,1,1]}, mode %s)\n", opts.Mode); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "profile\trank")
+	for _, p := range Figure1Profiles() {
+		score, ok := table.Score(p)
+		if !ok {
+			return fmt.Errorf("experiments: no score for %v", p)
+		}
+		fmt.Fprintf(tw, "%v\t%.6f\n", p, score)
+	}
+	return tw.Flush()
+}
+
+// Figure2Comparison captures the paper's Figure 2 / Section III-B
+// quality claims and whether the built table reproduces them.
+type Figure2Comparison struct {
+	Better, Worse resource.Vec
+	BetterScore   float64
+	WorseScore    float64
+	Holds         bool
+}
+
+// RunFigure2 evaluates the paper's two worked profile-quality
+// comparisons against a table.
+func RunFigure2(opts ranktable.Options) ([]Figure2Comparison, error) {
+	table, err := PaperExampleTable(opts)
+	if err != nil {
+		return nil, err
+	}
+	pairs := []struct{ better, worse resource.Vec }{
+		// Figure 2: [3,3,3,3] has more ways to the best profile than
+		// [4,4,2,2].
+		{better: resource.Vec{3, 3, 3, 3}, worse: resource.Vec{4, 4, 2, 2}},
+		// Section III-B: [3,3,2,2] can still reach the best profile,
+		// [4,3,3,3] cannot.
+		{better: resource.Vec{3, 3, 2, 2}, worse: resource.Vec{4, 3, 3, 3}},
+	}
+	out := make([]Figure2Comparison, 0, len(pairs))
+	for _, p := range pairs {
+		b, okB := table.Score(p.better)
+		v, okW := table.Score(p.worse)
+		if !okB || !okW {
+			return nil, fmt.Errorf("experiments: missing score for figure 2 profiles")
+		}
+		out = append(out, Figure2Comparison{
+			Better: p.better, Worse: p.worse,
+			BetterScore: b, WorseScore: v,
+			Holds: b > v,
+		})
+	}
+	return out, nil
+}
+
+// WriteFigure2 renders the Figure 2 comparisons.
+func WriteFigure2(w io.Writer, opts ranktable.Options) error {
+	comps, err := RunFigure2(opts)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "Figure 2 — profile quality comparisons (mode %s)\n", opts.Mode); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "claimed better\tscore\tclaimed worse\tscore\tholds")
+	for _, c := range comps {
+		fmt.Fprintf(tw, "%v\t%.6f\t%v\t%.6f\t%v\n", c.Better, c.BetterScore, c.Worse, c.WorseScore, c.Holds)
+	}
+	return tw.Flush()
+}

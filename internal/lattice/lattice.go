@@ -1,0 +1,186 @@
+// Package lattice builds the profile graph of the paper's Algorithm 1:
+// the nodes are every canonical resource-usage profile a PM shape can
+// take (the full box lattice [0..cap]^dims, collapsed by within-group
+// symmetry), and the edges connect a profile to the profiles obtained
+// by accommodating one VM from the VM-type set, in any feasible
+// permutation of its anti-collocated demands.
+//
+// Adding a VM strictly increases total used units, so the graph is a
+// DAG layered by total usage.
+package lattice
+
+import (
+	"fmt"
+
+	"pagerankvm/internal/resource"
+)
+
+// Space is the enumerated profile graph for one PM shape and one VM
+// type set. It is immutable after New.
+type Space struct {
+	shape *resource.Shape
+	nodes []resource.Vec // canonical profiles, layer order (by Sum)
+	index map[string]int // canonical key -> node id
+	succ  [][]int32      // deduped successor node ids per node
+	edges int
+}
+
+// MaxNodes bounds the lattice size New is willing to enumerate. The
+// joint lattice of a large PM type explodes combinatorially; callers
+// should fall back to the factored ranker (see internal/ranktable)
+// above this bound.
+const MaxNodes = 4 << 20
+
+// New enumerates the canonical profile lattice of shape and wires the
+// successor edges induced by the VM types. Every VM type must validate
+// against the shape. Types with no demand on any of the shape's groups
+// are skipped (they would only contribute self-loops).
+func New(shape *resource.Shape, vmTypes []resource.VMType) (*Space, error) {
+	if n := shape.NumProfiles(); n < 0 || n > MaxNodes {
+		return nil, fmt.Errorf("lattice: profile space has %d canonical nodes, above limit %d (use the factored ranker)", n, MaxNodes)
+	}
+	var active []resource.VMType
+	for _, vt := range vmTypes {
+		if err := vt.Validate(shape); err != nil {
+			return nil, err
+		}
+		touches := false
+		for _, d := range vt.Demands {
+			if shape.GroupIndex(d.Group) >= 0 && len(d.Units) > 0 {
+				touches = true
+				break
+			}
+		}
+		if touches {
+			active = append(active, vt)
+		}
+	}
+
+	s := &Space{shape: shape}
+	s.enumerate()
+	s.wire(active)
+	return s, nil
+}
+
+// enumerate generates all canonical profiles (non-decreasing within
+// each group) in layer order is not required; we generate in
+// lexicographic order and rely on the DAG property for traversals.
+func (s *Space) enumerate() {
+	dims := s.shape.NumDims()
+	cur := make(resource.Vec, dims)
+	var nodes []resource.Vec
+
+	// Per-dimension generation with the non-decreasing constraint
+	// inside each group.
+	var gen func(gi, di int)
+	gen = func(gi, di int) {
+		if gi == s.shape.NumGroups() {
+			nodes = append(nodes, cur.Clone())
+			return
+		}
+		lo, hi := s.shape.GroupRange(gi)
+		g := s.shape.Group(gi)
+		dim := lo + di
+		if dim == hi {
+			gen(gi+1, 0)
+			return
+		}
+		min := 0
+		if di > 0 {
+			min = cur[dim-1]
+		}
+		for v := min; v <= g.Cap; v++ {
+			cur[dim] = v
+			gen(gi, di+1)
+		}
+		cur[dim] = 0
+	}
+	gen(0, 0)
+
+	s.nodes = nodes
+	s.index = make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		s.index[s.shape.KeyCanon(n)] = i
+	}
+}
+
+// wire computes the deduped successor sets.
+func (s *Space) wire(vmTypes []resource.VMType) {
+	s.succ = make([][]int32, len(s.nodes))
+	for i, node := range s.nodes {
+		var out []int32
+		seen := make(map[int32]bool)
+		for _, vt := range vmTypes {
+			for _, pl := range resource.Placements(s.shape, node, vt) {
+				j, ok := s.index[pl.Key]
+				if !ok {
+					// Placements stays within capacity, so the result
+					// is always in the lattice.
+					panic(fmt.Sprintf("lattice: successor %v not enumerated", pl.Result))
+				}
+				if !seen[int32(j)] {
+					seen[int32(j)] = true
+					out = append(out, int32(j))
+				}
+			}
+		}
+		s.succ[i] = out
+		s.edges += len(out)
+	}
+}
+
+// Shape returns the PM shape of the space.
+func (s *Space) Shape() *resource.Shape { return s.shape }
+
+// Len returns the number of canonical profiles.
+func (s *Space) Len() int { return len(s.nodes) }
+
+// Edges returns the total number of edges.
+func (s *Space) Edges() int { return s.edges }
+
+// Node returns the canonical profile with id i. The returned vector
+// must not be modified.
+func (s *Space) Node(i int) resource.Vec { return s.nodes[i] }
+
+// Succ returns the successor node ids of node i. The returned slice
+// must not be modified.
+func (s *Space) Succ(i int) []int32 { return s.succ[i] }
+
+// Index returns the node id of a (not necessarily canonical) profile,
+// or -1 when the profile is not in the lattice.
+func (s *Space) Index(v resource.Vec) int {
+	if i, ok := s.index[s.shape.Key(v)]; ok {
+		return i
+	}
+	return -1
+}
+
+// IndexKey returns the node id for a canonical key, or -1.
+func (s *Space) IndexKey(key string) int {
+	if i, ok := s.index[key]; ok {
+		return i
+	}
+	return -1
+}
+
+// Utils returns the aggregate utilization of every node, indexed by
+// node id.
+func (s *Space) Utils() []float64 {
+	out := make([]float64, len(s.nodes))
+	for i, n := range s.nodes {
+		out[i] = s.shape.Util(n)
+	}
+	return out
+}
+
+// Terminals returns the ids of nodes with no outgoing edges (profiles
+// that cannot accommodate any VM from the set).
+func (s *Space) Terminals() []int {
+	var out []int
+	for i := range s.nodes {
+		if len(s.succ[i]) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

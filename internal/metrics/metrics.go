@@ -1,0 +1,75 @@
+// Package metrics provides the summary statistics the paper reports:
+// per-experiment medians with 1st and 99th percentile error bars over
+// repeated runs.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It returns NaN for an
+// empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[hi]-sorted[lo])
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean, NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// Summary is the paper's error-bar triple: median with 1st and 99th
+// percentiles over the repetitions of one experimental point.
+type Summary struct {
+	Median float64
+	P1     float64
+	P99    float64
+	N      int
+}
+
+// Summarize computes a Summary over repetition results.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		Median: Median(xs),
+		P1:     Percentile(xs, 1),
+		P99:    Percentile(xs, 99),
+		N:      len(xs),
+	}
+}
+
+// String renders "median [p1, p99] (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.2f [%.2f, %.2f] (n=%d)", s.Median, s.P1, s.P99, s.N)
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 1},
+		{p: 50, want: 3},
+		{p: 100, want: 5},
+		{p: 25, want: 2},
+		{p: 75, want: 4},
+		{p: -5, want: 1},
+		{p: 150, want: 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("Percentile(50) = %v, want 5", got)
+	}
+	if got := Percentile(xs, 99); math.Abs(got-9.9) > 1e-9 {
+		t.Errorf("Percentile(99) = %v, want 9.9", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) not NaN")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) not NaN")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Errorf("Median = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.Median != 50 || s.P1 != 1 || s.P99 != 99 || s.N != 101 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+// Properties: percentiles are monotone in p and bounded by min/max.
+func TestPercentileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		sorted := make([]float64, n)
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(xs, p)
+			if v < prev || v < sorted[0] || v > sorted[n-1] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package mip
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/resource"
+)
+
+// Instance is the JSON-serializable description of a Section-IV
+// problem instance, consumed by cmd/prvm-mip.
+type Instance struct {
+	PMTypes []PMTypeJSON       `json:"pmTypes"`
+	PMs     []PMJSON           `json:"pms"`
+	VMTypes []VMTypeJSON       `json:"vmTypes"`
+	VMs     []VMJSON           `json:"vms"`
+	Costs   map[string]float64 `json:"costs,omitempty"` // pm id -> activation cost
+}
+
+// PMTypeJSON describes a PM type's groups.
+type PMTypeJSON struct {
+	Name   string      `json:"name"`
+	Groups []GroupJSON `json:"groups"`
+}
+
+// GroupJSON mirrors resource.Group.
+type GroupJSON struct {
+	Name string `json:"name"`
+	Dims int    `json:"dims"`
+	Cap  int    `json:"cap"`
+}
+
+// PMJSON is one machine.
+type PMJSON struct {
+	ID   int    `json:"id"`
+	Type string `json:"type"`
+}
+
+// VMTypeJSON describes a VM type's demands.
+type VMTypeJSON struct {
+	Name    string       `json:"name"`
+	Demands []DemandJSON `json:"demands"`
+}
+
+// DemandJSON mirrors resource.Demand.
+type DemandJSON struct {
+	Group string `json:"group"`
+	Units []int  `json:"units"`
+}
+
+// VMJSON is one request.
+type VMJSON struct {
+	ID   int    `json:"id"`
+	Type string `json:"type"`
+}
+
+// ReadInstance decodes an instance from JSON.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var inst Instance
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&inst); err != nil {
+		return nil, fmt.Errorf("mip: decode instance: %w", err)
+	}
+	return &inst, nil
+}
+
+// Write encodes the instance as indented JSON.
+func (inst *Instance) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(inst); err != nil {
+		return fmt.Errorf("mip: encode instance: %w", err)
+	}
+	return nil
+}
+
+// Build materializes the instance into solver inputs.
+func (inst *Instance) Build() (pms []*placement.PM, vms []*placement.VM, opts Options, err error) {
+	shapes := make(map[string]*resource.Shape, len(inst.PMTypes))
+	for _, pt := range inst.PMTypes {
+		groups := make([]resource.Group, len(pt.Groups))
+		for i, g := range pt.Groups {
+			groups[i] = resource.Group{Name: g.Name, Dims: g.Dims, Cap: g.Cap}
+		}
+		shape, err := resource.NewShape(groups...)
+		if err != nil {
+			return nil, nil, opts, fmt.Errorf("mip: pm type %q: %w", pt.Name, err)
+		}
+		shapes[pt.Name] = shape
+	}
+	if len(inst.PMs) == 0 {
+		return nil, nil, opts, fmt.Errorf("mip: instance has no PMs")
+	}
+	seenPM := make(map[int]bool, len(inst.PMs))
+	for _, p := range inst.PMs {
+		shape, ok := shapes[p.Type]
+		if !ok {
+			return nil, nil, opts, fmt.Errorf("mip: pm %d has unknown type %q", p.ID, p.Type)
+		}
+		if seenPM[p.ID] {
+			return nil, nil, opts, fmt.Errorf("mip: duplicate pm id %d", p.ID)
+		}
+		seenPM[p.ID] = true
+		pms = append(pms, placement.NewPM(p.ID, p.Type, shape))
+	}
+
+	vmTypes := make(map[string]map[string]resource.VMType, len(inst.VMTypes)) // vm type -> pm type -> demand
+	for _, vt := range inst.VMTypes {
+		demands := make([]resource.Demand, len(vt.Demands))
+		for i, d := range vt.Demands {
+			demands[i] = resource.Demand{Group: d.Group, Units: d.Units}
+		}
+		perPM := make(map[string]resource.VMType, len(shapes))
+		for pmType := range shapes {
+			perPM[pmType] = resource.NewVMType(vt.Name, demands...)
+		}
+		vmTypes[vt.Name] = perPM
+	}
+	seenVM := make(map[int]bool, len(inst.VMs))
+	for _, v := range inst.VMs {
+		perPM, ok := vmTypes[v.Type]
+		if !ok {
+			return nil, nil, opts, fmt.Errorf("mip: vm %d has unknown type %q", v.ID, v.Type)
+		}
+		if seenVM[v.ID] {
+			return nil, nil, opts, fmt.Errorf("mip: duplicate vm id %d", v.ID)
+		}
+		seenVM[v.ID] = true
+		vms = append(vms, &placement.VM{ID: v.ID, Type: v.Type, Req: perPM})
+	}
+
+	if len(inst.Costs) > 0 {
+		opts.Costs = make(map[int]float64, len(inst.Costs))
+		for idStr, cost := range inst.Costs {
+			var id int
+			if _, err := fmt.Sscanf(idStr, "%d", &id); err != nil {
+				return nil, nil, opts, fmt.Errorf("mip: bad cost key %q", idStr)
+			}
+			opts.Costs[id] = cost
+		}
+	}
+	return pms, vms, opts, nil
+}
+
+// ExampleInstance returns a small solvable sample, used by
+// prvm-mip -example.
+func ExampleInstance() *Instance {
+	return &Instance{
+		PMTypes: []PMTypeJSON{{
+			Name: "host",
+			Groups: []GroupJSON{
+				{Name: "cpu", Dims: 4, Cap: 4},
+				{Name: "mem", Dims: 1, Cap: 8},
+			},
+		}},
+		PMs: []PMJSON{{ID: 0, Type: "host"}, {ID: 1, Type: "host"}, {ID: 2, Type: "host"}},
+		VMTypes: []VMTypeJSON{
+			{Name: "small", Demands: []DemandJSON{
+				{Group: "cpu", Units: []int{1, 1}}, {Group: "mem", Units: []int{2}},
+			}},
+			{Name: "wide", Demands: []DemandJSON{
+				{Group: "cpu", Units: []int{1, 1, 1, 1}}, {Group: "mem", Units: []int{2}},
+			}},
+		},
+		VMs: []VMJSON{
+			{ID: 0, Type: "small"}, {ID: 1, Type: "wide"},
+			{ID: 2, Type: "small"}, {ID: 3, Type: "wide"},
+		},
+		Costs: map[string]float64{"2": 3},
+	}
+}

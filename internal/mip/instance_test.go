@@ -1,0 +1,84 @@
+package mip
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInstanceRoundTrip(t *testing.T) {
+	inst := ExampleInstance()
+	var buf bytes.Buffer
+	if err := inst.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.PMs) != len(inst.PMs) || len(decoded.VMs) != len(inst.VMs) {
+		t.Fatalf("round trip lost entries: %+v", decoded)
+	}
+}
+
+func TestInstanceBuildAndSolve(t *testing.T) {
+	pms, vms, opts, err := ExampleInstance().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pms) != 3 || len(vms) != 4 {
+		t.Fatalf("built %d PMs, %d VMs", len(pms), len(vms))
+	}
+	if opts.Costs[2] != 3 {
+		t.Fatalf("costs = %v", opts.Costs)
+	}
+	sol, err := Solve(pms, vms, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 small + 2 wide = 2*4 + 2*6... cpu: small 2, wide 4 -> 12 cpu
+	// units and 8 mem units fit one host (16 cpu, 8 mem): mem binds at
+	// exactly 8 -> one PM suffices.
+	if sol.PMsUsed != 1 {
+		t.Fatalf("PMsUsed = %d, want 1", sol.PMsUsed)
+	}
+	// The expensive PM (id 2, cost 3) must not be the one used.
+	for _, a := range sol.Assignments {
+		if a.PM == 2 {
+			t.Fatalf("used the expensive PM: %+v", sol.Assignments)
+		}
+	}
+}
+
+func TestReadInstanceRejectsGarbage(t *testing.T) {
+	if _, err := ReadInstance(strings.NewReader("not json")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := ReadInstance(strings.NewReader(`{"bogusField": 1}`)); err == nil {
+		t.Fatal("accepted unknown fields")
+	}
+}
+
+func TestInstanceBuildValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Instance)
+	}{
+		{name: "no pms", mutate: func(i *Instance) { i.PMs = nil }},
+		{name: "unknown pm type", mutate: func(i *Instance) { i.PMs[0].Type = "zzz" }},
+		{name: "duplicate pm id", mutate: func(i *Instance) { i.PMs[1].ID = i.PMs[0].ID }},
+		{name: "unknown vm type", mutate: func(i *Instance) { i.VMs[0].Type = "zzz" }},
+		{name: "duplicate vm id", mutate: func(i *Instance) { i.VMs[1].ID = i.VMs[0].ID }},
+		{name: "bad group", mutate: func(i *Instance) { i.PMTypes[0].Groups[0].Dims = 0 }},
+		{name: "bad cost key", mutate: func(i *Instance) { i.Costs = map[string]float64{"abc": 1} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			inst := ExampleInstance()
+			tt.mutate(inst)
+			if _, _, _, err := inst.Build(); err == nil {
+				t.Error("invalid instance accepted")
+			}
+		})
+	}
+}

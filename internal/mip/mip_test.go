@@ -1,0 +1,221 @@
+package mip
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+)
+
+const pmType = "small"
+
+func smallShape() *resource.Shape {
+	return resource.MustShape(resource.Group{Name: "cpu", Dims: 4, Cap: 4})
+}
+
+func vmType(name string) resource.VMType {
+	switch name {
+	case "[1,1]":
+		return resource.NewVMType(name, resource.Demand{Group: "cpu", Units: []int{1, 1}})
+	case "[1,1,1,1]":
+		return resource.NewVMType(name, resource.Demand{Group: "cpu", Units: []int{1, 1, 1, 1}})
+	case "[2,2]":
+		return resource.NewVMType(name, resource.Demand{Group: "cpu", Units: []int{2, 2}})
+	}
+	panic("unknown " + name)
+}
+
+func newVM(id int, name string) *placement.VM {
+	return &placement.VM{ID: id, Type: name, Req: map[string]resource.VMType{pmType: vmType(name)}}
+}
+
+func newPMs(n int) []*placement.PM {
+	shape := smallShape()
+	pms := make([]*placement.PM, n)
+	for i := range pms {
+		pms[i] = placement.NewPM(i, pmType, shape)
+	}
+	return pms
+}
+
+func TestSolveTrivial(t *testing.T) {
+	sol, err := Solve(newPMs(2), []*placement.VM{newVM(0, "[1,1]")}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PMsUsed != 1 || sol.Cost != 1 || !sol.Optimal {
+		t.Fatalf("solution %+v", sol)
+	}
+	if len(sol.Assignments) != 1 {
+		t.Fatalf("assignments %v", sol.Assignments)
+	}
+}
+
+func TestSolvePacksPerfectly(t *testing.T) {
+	// 8 x [1,1] = 16 units exactly fill one PM.
+	var vms []*placement.VM
+	for i := 0; i < 8; i++ {
+		vms = append(vms, newVM(i, "[1,1]"))
+	}
+	sol, err := Solve(newPMs(3), vms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PMsUsed != 1 {
+		t.Fatalf("PMsUsed = %d, want 1", sol.PMsUsed)
+	}
+	if !sol.Optimal {
+		t.Fatal("not optimal")
+	}
+}
+
+func TestSolveNeedsTwoPMs(t *testing.T) {
+	// 5 x [1,1,1,1]: 20 units; one PM fits 4 such VMs (anti-collocated
+	// across all 4 dims), the 5th forces a second PM.
+	var vms []*placement.VM
+	for i := 0; i < 5; i++ {
+		vms = append(vms, newVM(i, "[1,1,1,1]"))
+	}
+	sol, err := Solve(newPMs(3), vms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PMsUsed != 2 {
+		t.Fatalf("PMsUsed = %d, want 2", sol.PMsUsed)
+	}
+}
+
+func TestSolveAntiCollocationForcesSpread(t *testing.T) {
+	// A [2,2] VM needs two distinct cores with 2 free units each; 3
+	// such VMs use 12 units, but each core has capacity 4 = two 2-unit
+	// slots, so one PM (8 slots) still fits all three.
+	var vms []*placement.VM
+	for i := 0; i < 3; i++ {
+		vms = append(vms, newVM(i, "[2,2]"))
+	}
+	sol, err := Solve(newPMs(2), vms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PMsUsed != 1 {
+		t.Fatalf("PMsUsed = %d, want 1", sol.PMsUsed)
+	}
+	// Every VM's two units must sit on distinct dims.
+	for id, a := range sol.Assignments {
+		if len(a.Assign) != 2 || a.Assign[0].Dim == a.Assign[1].Dim {
+			t.Fatalf("vm %d assignment violates anti-collocation: %v", id, a.Assign)
+		}
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	var vms []*placement.VM
+	for i := 0; i < 5; i++ {
+		vms = append(vms, newVM(i, "[1,1,1,1]"))
+	}
+	_, err := Solve(newPMs(1), vms, Options{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveCosts(t *testing.T) {
+	// PM 0 costs 10, PM 1 costs 1: a single VM must go to PM 1.
+	sol, err := Solve(newPMs(2), []*placement.VM{newVM(0, "[1,1]")},
+		Options{Costs: map[int]float64{0: 10, 1: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 1 {
+		t.Fatalf("Cost = %v, want 1", sol.Cost)
+	}
+	if sol.Assignments[0].PM != 1 {
+		t.Fatalf("assigned to pm %d, want 1", sol.Assignments[0].PM)
+	}
+}
+
+func TestSolveRejectsDirtyPMs(t *testing.T) {
+	pms := newPMs(1)
+	c := placement.NewCluster(pms)
+	vm := newVM(9, "[1,1]")
+	demand, _ := vm.DemandOn(pmType)
+	assign := resource.GreedyAssign(pms[0].Shape, pms[0].Used(), demand)
+	if err := c.Host(pms[0], vm, assign); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(pms, nil, Options{}); err == nil {
+		t.Fatal("accepted non-empty PM")
+	}
+	if _, err := Solve(nil, nil, Options{}); err == nil {
+		t.Fatal("accepted empty inventory")
+	}
+}
+
+func TestSolveNodeLimit(t *testing.T) {
+	var vms []*placement.VM
+	for i := 0; i < 10; i++ {
+		vms = append(vms, newVM(i, "[1,1]"))
+	}
+	// A full solution needs at least 11 nodes (root + one per VM), so
+	// a limit of 5 guarantees truncation before any incumbent exists.
+	sol, err := Solve(newPMs(4), vms, Options{NodeLimit: 5})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible after truncation", err)
+	}
+	if sol != nil && sol.Optimal {
+		t.Fatal("claimed optimality after truncation")
+	}
+}
+
+// Property: the optimum never exceeds any heuristic's PM count, and
+// heuristic solutions are feasible whenever the optimum exists.
+func TestOptimumLowerBoundsHeuristics(t *testing.T) {
+	table, err := ranktable.NewJoint(smallShape(), []resource.VMType{
+		vmType("[1,1]"), vmType("[1,1,1,1]"), vmType("[2,2]"),
+	}, ranktable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ranktable.NewRegistry()
+	reg.Add(pmType, table)
+
+	names := []string{"[1,1]", "[1,1,1,1]", "[2,2]"}
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		var vms []*placement.VM
+		for i := 0; i < n; i++ {
+			vms = append(vms, newVM(i, names[rng.Intn(len(names))]))
+		}
+		sol, err := Solve(newPMs(4), vms, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		placers := []placement.Placer{
+			placement.NewPageRankVM(reg),
+			placement.FirstFit{},
+			placement.CompVM{},
+			placement.BestFit{},
+		}
+		for _, p := range placers {
+			c := placement.NewCluster(newPMs(4))
+			for _, vm := range vms {
+				pm, assign, err := p.Place(c, vm, nil)
+				if err != nil {
+					t.Fatalf("seed %d %s: %v", seed, p.Name(), err)
+				}
+				if err := c.Host(pm, vm, assign); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if c.MaxUsed < sol.PMsUsed {
+				t.Fatalf("seed %d: %s used %d PMs, below optimum %d",
+					seed, p.Name(), c.MaxUsed, sol.PMsUsed)
+			}
+		}
+	}
+}

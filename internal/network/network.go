@@ -1,0 +1,245 @@
+// Package network implements the paper's stated future work
+// ("incorporating network infrastructure in designing PageRankVM in
+// order to achieve bandwidth efficiency"): a two-level datacenter
+// topology (PMs grouped into racks behind top-of-rack uplinks), a
+// tenant traffic model, and a placement decorator that breaks
+// near-ties in the PageRank score toward the PM that adds the least
+// cross-rack traffic.
+package network
+
+import (
+	"errors"
+	"fmt"
+
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/resource"
+)
+
+// Topology maps PMs to racks. Traffic between VMs in the same rack
+// stays below the ToR switch; traffic between racks crosses the
+// oversubscribed core, which is what the extension minimizes.
+type Topology struct {
+	rackOf map[int]int // pm id -> rack id
+	racks  int
+}
+
+// NewTopology assigns the PMs of a cluster to racks round-robin by
+// inventory order (adjacent PMs share a rack), rackSize PMs per rack.
+func NewTopology(pms []*placement.PM, rackSize int) (*Topology, error) {
+	if rackSize <= 0 {
+		return nil, errors.New("network: rack size must be positive")
+	}
+	t := &Topology{rackOf: make(map[int]int, len(pms))}
+	for i, pm := range pms {
+		t.rackOf[pm.ID] = i / rackSize
+	}
+	t.racks = (len(pms) + rackSize - 1) / rackSize
+	return t, nil
+}
+
+// Rack returns the rack of a PM id.
+func (t *Topology) Rack(pmID int) (int, bool) {
+	r, ok := t.rackOf[pmID]
+	return r, ok
+}
+
+// NumRacks returns the rack count.
+func (t *Topology) NumRacks() int { return t.racks }
+
+// Traffic records the expected bandwidth (in arbitrary units, e.g.
+// Mbps) exchanged between VM pairs. Tenants typically generate most
+// traffic among their own VMs.
+type Traffic struct {
+	flows map[[2]int]float64
+}
+
+// NewTraffic returns an empty traffic matrix.
+func NewTraffic() *Traffic {
+	return &Traffic{flows: make(map[[2]int]float64)}
+}
+
+// Add accumulates rate units of traffic between VMs a and b
+// (symmetric).
+func (tr *Traffic) Add(a, b int, rate float64) {
+	if a == b || rate <= 0 {
+		return
+	}
+	if a > b {
+		a, b = b, a
+	}
+	tr.flows[[2]int{a, b}] += rate
+}
+
+// Between returns the traffic between two VMs.
+func (tr *Traffic) Between(a, b int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	return tr.flows[[2]int{a, b}]
+}
+
+// Peers returns every VM exchanging traffic with vm and the rates.
+func (tr *Traffic) Peers(vm int) map[int]float64 {
+	out := make(map[int]float64)
+	for pair, rate := range tr.flows {
+		switch vm {
+		case pair[0]:
+			out[pair[1]] = rate
+		case pair[1]:
+			out[pair[0]] = rate
+		}
+	}
+	return out
+}
+
+// CrossRack sums the traffic crossing rack boundaries under the
+// cluster's current assignment — the bandwidth-efficiency metric of
+// the extension. Flows involving unplaced VMs are skipped.
+func CrossRack(c *placement.Cluster, topo *Topology, tr *Traffic) float64 {
+	total := 0.0
+	for pair, rate := range tr.flows {
+		pmA, okA := c.Locate(pair[0])
+		pmB, okB := c.Locate(pair[1])
+		if !okA || !okB {
+			continue
+		}
+		rackA, _ := topo.Rack(pmA.ID)
+		rackB, _ := topo.Rack(pmB.ID)
+		if rackA != rackB {
+			total += rate
+		}
+	}
+	return total
+}
+
+// Placer decorates an inner placer (normally PageRankVM) with
+// bandwidth awareness: it asks the inner placer for its decision, then
+// scans the used PMs of the *same rack-affinity class* — PMs in racks
+// already hosting the VM's traffic peers — and, when one of them
+// accommodates the VM with an inner-score within Tolerance of the
+// inner choice, places there instead. Rank quality is preserved up to
+// Tolerance; cross-rack traffic drops.
+type Placer struct {
+	// Inner is the rank-driven placer whose decisions are refined.
+	Inner *placement.PageRankVM
+	// Topo is the rack topology.
+	Topo *Topology
+	// Traffic is the VM communication matrix.
+	Traffic *Traffic
+	// Tolerance is the admissible relative score loss (default 0.1).
+	Tolerance float64
+}
+
+var _ placement.Placer = (*Placer)(nil)
+
+// Name implements placement.Placer.
+func (p *Placer) Name() string { return "PageRankVM-net" }
+
+// Place implements placement.Placer.
+func (p *Placer) Place(c *placement.Cluster, vm *placement.VM, exclude *placement.PM) (*placement.PM, resource.Assignment, error) {
+	basePM, baseAssign, err := p.Inner.Place(c, vm, exclude)
+	if err != nil {
+		return nil, nil, err
+	}
+	baseScore, ok := p.score(basePM, baseAssign)
+	if !ok {
+		return basePM, baseAssign, nil
+	}
+
+	// Racks where this VM's peers already run, weighted by rate.
+	rackTraffic := make(map[int]float64)
+	for peer, rate := range p.Traffic.Peers(vm.ID) {
+		if pm, placed := c.Locate(peer); placed {
+			if rack, ok := p.Topo.Rack(pm.ID); ok {
+				rackTraffic[rack] += rate
+			}
+		}
+	}
+	if len(rackTraffic) == 0 {
+		return basePM, baseAssign, nil
+	}
+	baseRack, _ := p.Topo.Rack(basePM.ID)
+
+	tolerance := p.Tolerance
+	if tolerance == 0 {
+		tolerance = 0.1
+	}
+	var (
+		bestPM     = basePM
+		bestAssign = baseAssign
+		bestGain   = rackTraffic[baseRack] // traffic kept in-rack
+	)
+	for _, pm := range c.UsedPMs() {
+		if pm == exclude || pm == basePM || !pm.Fits(vm) {
+			continue
+		}
+		rack, ok := p.Topo.Rack(pm.ID)
+		if !ok || rackTraffic[rack] <= bestGain {
+			continue
+		}
+		assign, score := p.bestAssign(pm, vm)
+		if assign == nil || score < baseScore*(1-tolerance) {
+			continue
+		}
+		bestPM, bestAssign, bestGain = pm, assign, rackTraffic[rack]
+	}
+	return bestPM, bestAssign, nil
+}
+
+// score evaluates the inner ranker on the profile that assign produces
+// on pm.
+func (p *Placer) score(pm *placement.PM, assign resource.Assignment) (float64, bool) {
+	result := pm.Used().Add(assign.Vec(pm.Shape))
+	ranker, ok := p.Inner.Ranker(pm.Type)
+	if !ok {
+		return 0, false
+	}
+	return ranker.Score(result)
+}
+
+// bestAssign returns pm's best accommodation of vm and its score.
+func (p *Placer) bestAssign(pm *placement.PM, vm *placement.VM) (resource.Assignment, float64) {
+	ranker, ok := p.Inner.Ranker(pm.Type)
+	if !ok {
+		return nil, 0
+	}
+	demand, ok := vm.DemandOn(pm.Type)
+	if !ok {
+		return nil, 0
+	}
+	var (
+		best      resource.Assignment
+		bestScore = -1.0
+	)
+	for _, pl := range resource.Placements(pm.Shape, pm.Used(), demand) {
+		if s, ok := ranker.Score(pl.Result); ok && s > bestScore {
+			best, bestScore = pl.Assign, s
+		}
+	}
+	return best, bestScore
+}
+
+// TenantTraffic builds an all-pairs traffic matrix within each tenant
+// group: groups lists the VM ids of each tenant, rate is the pairwise
+// bandwidth.
+func TenantTraffic(groups [][]int, rate float64) *Traffic {
+	tr := NewTraffic()
+	for _, g := range groups {
+		for i := 0; i < len(g); i++ {
+			for j := i + 1; j < len(g); j++ {
+				tr.Add(g[i], g[j], rate)
+			}
+		}
+	}
+	return tr
+}
+
+// Validate checks that every PM of the cluster has a rack.
+func (t *Topology) Validate(c *placement.Cluster) error {
+	for _, pm := range c.PMs() {
+		if _, ok := t.rackOf[pm.ID]; !ok {
+			return fmt.Errorf("network: pm %d has no rack", pm.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package network
+
+import (
+	"testing"
+
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+)
+
+const pmType = "host"
+
+func hostShape() *resource.Shape {
+	return resource.MustShape(resource.Group{Name: "cpu", Dims: 4, Cap: 4})
+}
+
+func vmTypes() []resource.VMType {
+	return []resource.VMType{
+		resource.NewVMType("[1,1]", resource.Demand{Group: "cpu", Units: []int{1, 1}}),
+	}
+}
+
+func newVM(id int) *placement.VM {
+	return &placement.VM{ID: id, Type: "[1,1]", Req: map[string]resource.VMType{pmType: vmTypes()[0]}}
+}
+
+func newCluster(n int) *placement.Cluster {
+	shape := hostShape()
+	pms := make([]*placement.PM, n)
+	for i := range pms {
+		pms[i] = placement.NewPM(i, pmType, shape)
+	}
+	return placement.NewCluster(pms)
+}
+
+func netPlacer(t *testing.T, topo *Topology, tr *Traffic) *Placer {
+	t.Helper()
+	table, err := ranktable.NewJoint(hostShape(), vmTypes(), ranktable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ranktable.NewRegistry()
+	reg.Add(pmType, table)
+	return &Placer{
+		Inner:   placement.NewPageRankVM(reg, placement.WithSeed(1)),
+		Topo:    topo,
+		Traffic: tr,
+	}
+}
+
+func TestTopology(t *testing.T) {
+	c := newCluster(5)
+	topo, err := NewTopology(c.PMs(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumRacks() != 3 {
+		t.Fatalf("racks = %d", topo.NumRacks())
+	}
+	for pm, wantRack := range map[int]int{0: 0, 1: 0, 2: 1, 3: 1, 4: 2} {
+		if r, ok := topo.Rack(pm); !ok || r != wantRack {
+			t.Errorf("Rack(%d) = %d, %v", pm, r, ok)
+		}
+	}
+	if err := topo.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTopology(c.PMs(), 0); err == nil {
+		t.Fatal("accepted zero rack size")
+	}
+}
+
+func TestTopologyValidateMissing(t *testing.T) {
+	c := newCluster(2)
+	topo, err := NewTopology(c.PMs()[:1], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(c); err == nil {
+		t.Fatal("missing rack undetected")
+	}
+}
+
+func TestTraffic(t *testing.T) {
+	tr := NewTraffic()
+	tr.Add(1, 2, 5)
+	tr.Add(2, 1, 3) // symmetric accumulation
+	tr.Add(3, 3, 9) // self-traffic ignored
+	tr.Add(1, 4, -1)
+	if got := tr.Between(1, 2); got != 8 {
+		t.Fatalf("Between = %v", got)
+	}
+	if got := tr.Between(2, 1); got != 8 {
+		t.Fatalf("Between reversed = %v", got)
+	}
+	peers := tr.Peers(1)
+	if len(peers) != 1 || peers[2] != 8 {
+		t.Fatalf("Peers = %v", peers)
+	}
+}
+
+func TestTenantTraffic(t *testing.T) {
+	tr := TenantTraffic([][]int{{1, 2, 3}, {7, 8}}, 2)
+	if tr.Between(1, 2) != 2 || tr.Between(1, 3) != 2 || tr.Between(2, 3) != 2 {
+		t.Fatal("intra-tenant flows missing")
+	}
+	if tr.Between(1, 7) != 0 {
+		t.Fatal("cross-tenant flow present")
+	}
+}
+
+func TestCrossRack(t *testing.T) {
+	c := newCluster(4)
+	topo, err := NewTopology(c.PMs(), 2) // racks {0,1}, {2,3}
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTraffic()
+	tr.Add(0, 1, 10)
+	tr.Add(0, 2, 4)
+
+	host := func(vmID, pmID int) {
+		vm := newVM(vmID)
+		pm := c.PMs()[pmID]
+		demand, _ := vm.DemandOn(pmType)
+		assign := resource.GreedyAssign(pm.Shape, pm.Used(), demand)
+		if err := c.Host(pm, vm, assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	host(0, 0)
+	host(1, 1) // same rack as vm0
+	host(2, 3) // other rack
+	if got := CrossRack(c, topo, tr); got != 4 {
+		t.Fatalf("CrossRack = %v, want 4", got)
+	}
+}
+
+// The decorator keeps a VM with its peers when a same-rack PM offers a
+// near-equal rank score.
+func TestPlacerPrefersPeerRack(t *testing.T) {
+	c := newCluster(4)
+	topo, err := NewTopology(c.PMs(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TenantTraffic([][]int{{0, 1}}, 10)
+	p := netPlacer(t, topo, tr)
+
+	// Seed vm0 on rack-1 (pm 2); make rack-0's pm 0 used too so both
+	// racks offer used PMs with identical profiles.
+	host := func(vmID, pmID int) {
+		vm := newVM(vmID)
+		pm := c.PMs()[pmID]
+		demand, _ := vm.DemandOn(pmType)
+		assign := resource.GreedyAssign(pm.Shape, pm.Used(), demand)
+		if err := c.Host(pm, vm, assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	host(0, 2)
+	host(99, 0)
+
+	pm, assign, err := p.Place(c, newVM(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rack, _ := topo.Rack(pm.ID)
+	if rack != 1 {
+		t.Fatalf("vm 1 placed on rack %d (pm %d), want rack 1 with its peer", rack, pm.ID)
+	}
+	if err := c.Host(pm, newVM(1), assign); err != nil {
+		t.Fatal(err)
+	}
+	if got := CrossRack(c, topo, tr); got != 0 {
+		t.Fatalf("CrossRack = %v, want 0", got)
+	}
+}
+
+// Without traffic peers the decorator defers to the inner placer.
+func TestPlacerNoPeersDefersToInner(t *testing.T) {
+	c := newCluster(2)
+	topo, err := NewTopology(c.PMs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := netPlacer(t, topo, NewTraffic())
+	pm, assign, err := p.Place(c, newVM(0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm == nil || assign == nil {
+		t.Fatal("no placement")
+	}
+	if p.Name() != "PageRankVM-net" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+}
+
+// The tolerance guards rank quality: a same-rack PM whose best profile
+// scores far below the inner choice is rejected.
+func TestPlacerToleranceGuardsQuality(t *testing.T) {
+	c := newCluster(4)
+	topo, err := NewTopology(c.PMs(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TenantTraffic([][]int{{0, 1}}, 10)
+	p := netPlacer(t, topo, tr)
+	p.Tolerance = 1e-9 // effectively: only exact ties may move
+
+	// vm0's rack-1 host is nearly full and badly shaped; rack-0 has a
+	// clean empty profile the inner placer will prefer.
+	host := func(vmID, pmID int, units []int) {
+		vm := &placement.VM{ID: vmID, Type: "x", Req: map[string]resource.VMType{
+			pmType: resource.NewVMType("x", resource.Demand{Group: "cpu", Units: units}),
+		}}
+		pm := c.PMs()[pmID]
+		demand, _ := vm.DemandOn(pmType)
+		assign := resource.GreedyAssign(pm.Shape, pm.Used(), demand)
+		if assign == nil {
+			t.Fatalf("seed vm %d does not fit", vmID)
+		}
+		if err := c.Host(pm, vm, assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	host(0, 2, []int{4, 4, 4, 3}) // rack 1, nearly full dead-endish
+	host(99, 0, []int{1, 1})      // rack 0, clean
+
+	pm, _, err := p.Place(c, newVM(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rack, _ := topo.Rack(pm.ID)
+	if rack != 0 {
+		t.Fatalf("tolerance violated: placed on rack %d", rack)
+	}
+}
+
+func TestCrossRackSkipsUnplaced(t *testing.T) {
+	c := newCluster(2)
+	topo, err := NewTopology(c.PMs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTraffic()
+	tr.Add(0, 1, 10)
+	// Neither VM placed: no cross traffic counted.
+	if got := CrossRack(c, topo, tr); got != 0 {
+		t.Fatalf("CrossRack = %v", got)
+	}
+}
+
+func TestPlacerPropagatesInnerError(t *testing.T) {
+	c := newCluster(1)
+	topo, err := NewTopology(c.PMs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := netPlacer(t, topo, NewTraffic())
+	// Fill the only PM.
+	for i := 0; i < 8; i++ {
+		vm := newVM(100 + i)
+		pm, assign, err := p.Place(c, vm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Host(pm, vm, assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := p.Place(c, newVM(999), nil); err == nil {
+		t.Fatal("expected no-capacity error")
+	}
+}
+
+func TestPlacerHonorsExclude(t *testing.T) {
+	c := newCluster(2)
+	topo, err := NewTopology(c.PMs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TenantTraffic([][]int{{0, 1}}, 5)
+	p := netPlacer(t, topo, tr)
+	src := c.PMs()[0]
+	// Peer on the excluded PM: the decorator must not pull the VM there.
+	vm0 := newVM(0)
+	demand, _ := vm0.DemandOn(pmType)
+	if err := c.Host(src, vm0, resource.GreedyAssign(src.Shape, src.Used(), demand)); err != nil {
+		t.Fatal(err)
+	}
+	pm, _, err := p.Place(c, newVM(1), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm == src {
+		t.Fatal("excluded PM chosen")
+	}
+}
+
+func TestPlacerMissingRankerForCandidate(t *testing.T) {
+	// A cluster with a PM type absent from the registry: scoring that
+	// candidate fails gracefully and the base decision stands.
+	shape := hostShape()
+	table, err := ranktable.NewJoint(shape, vmTypes(), ranktable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ranktable.NewRegistry()
+	reg.Add(pmType, table)
+	pms := []*placement.PM{
+		placement.NewPM(0, pmType, shape),
+		placement.NewPM(1, "ghost", shape),
+	}
+	c := placement.NewCluster(pms)
+	topo, err := NewTopology(pms, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TenantTraffic([][]int{{0, 1}}, 5)
+	p := &Placer{
+		Inner:   placement.NewPageRankVM(reg, placement.WithSeed(1)),
+		Topo:    topo,
+		Traffic: tr,
+	}
+	vm := newVM(0)
+	pm, assign, err := p.Place(c, vm, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Type != pmType {
+		t.Fatalf("placed on unranked pm type %s", pm.Type)
+	}
+	if err := c.Host(pm, vm, assign); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Place(c, newVM(1), nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package pagerank implements Algorithm 1 of the paper: the PageRank
+// iteration over a profile graph (damping, auxiliary accumulation,
+// per-iteration normalization, convergence threshold) followed by the
+// BPRU (Best Possible Resource Utilization) discount that multiplies
+// each profile's rank by the maximum utilization among the terminal
+// profiles reachable from it.
+package pagerank
+
+import (
+	"errors"
+	"math"
+)
+
+// Defaults for Options, matching the paper (d = 0.85 "as generally
+// assumed").
+const (
+	DefaultDamping = 0.85
+	DefaultEpsilon = 1e-10
+	DefaultMaxIter = 10000
+)
+
+// Options configures the PageRank iteration. The zero value selects the
+// defaults above.
+type Options struct {
+	// Damping is the damping factor d in Equ. (12).
+	Damping float64
+	// Epsilon is the convergence threshold: iteration stops once every
+	// node's score changes by less than Epsilon between iterations.
+	Epsilon float64
+	// MaxIter bounds the iteration count as a safety net.
+	MaxIter int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping == 0 {
+		o.Damping = DefaultDamping
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = DefaultEpsilon
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = DefaultMaxIter
+	}
+	return o
+}
+
+// Result carries the converged scores and iteration diagnostics.
+type Result struct {
+	// Ranks holds the normalized PageRank score of every node.
+	Ranks []float64
+	// Iterations is the number of iterations run until convergence.
+	Iterations int
+	// Converged reports whether Epsilon was reached within MaxIter.
+	Converged bool
+}
+
+// Ranks runs the paper's Algorithm 1 lines 2-18 on the graph given as
+// per-node successor lists. It returns an error for an empty graph or
+// invalid options.
+func Ranks(succ [][]int32, opts Options) (Result, error) {
+	o := opts.withDefaults()
+	n := len(succ)
+	if n == 0 {
+		return Result{}, errors.New("pagerank: empty graph")
+	}
+	if o.Damping < 0 || o.Damping >= 1 {
+		return Result{}, errors.New("pagerank: damping must be in [0,1)")
+	}
+	if o.Epsilon <= 0 {
+		return Result{}, errors.New("pagerank: epsilon must be positive")
+	}
+
+	pr := make([]float64, n)
+	aux := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+
+	res := Result{}
+	for iter := 1; iter <= o.MaxIter; iter++ {
+		// Lines 7-12: distribute each node's rank to its successors.
+		for i := range succ {
+			out := succ[i]
+			if len(out) == 0 {
+				continue
+			}
+			share := pr[i] / float64(len(out))
+			for _, j := range out {
+				aux[j] += share
+			}
+		}
+		// Lines 13-16: damped update.
+		base := (1 - o.Damping) / float64(n)
+		sum := 0.0
+		maxDelta := 0.0
+		for i := range pr {
+			next := base + o.Damping*aux[i]
+			sum += next
+			pr[i], aux[i] = next, pr[i] // aux now holds the previous score
+		}
+		// Line 17: normalize, then measure convergence against the
+		// previous normalized scores stashed in aux.
+		for i := range pr {
+			pr[i] /= sum
+			if d := math.Abs(pr[i] - aux[i]); d > maxDelta {
+				maxDelta = d
+			}
+			aux[i] = 0
+		}
+		res.Iterations = iter
+		if maxDelta < o.Epsilon {
+			res.Converged = true
+			break
+		}
+	}
+	res.Ranks = pr
+	return res, nil
+}
+
+// BPRU computes, for every node, the maximum utilization among the
+// terminal nodes (no out-edges) reachable from it; a terminal node's
+// BPRU is its own utilization (Algorithm 1 line 19's discount factor).
+// The graph must be a DAG — profile graphs always are, because edges
+// strictly increase total usage.
+func BPRU(succ [][]int32, utils []float64) ([]float64, error) {
+	n := len(succ)
+	if len(utils) != n {
+		return nil, errors.New("pagerank: utils length mismatch")
+	}
+	const (
+		unvisited = iota
+		inProgress
+		done
+	)
+	state := make([]uint8, n)
+	bpru := make([]float64, n)
+
+	// Iterative post-order DFS to avoid deep recursion on long chains.
+	type frame struct {
+		node int
+		next int
+	}
+	var stack []frame
+	for start := 0; start < n; start++ {
+		if state[start] == done {
+			continue
+		}
+		stack = append(stack[:0], frame{node: start})
+		state[start] = inProgress
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			out := succ[f.node]
+			if f.next < len(out) {
+				child := int(out[f.next])
+				f.next++
+				switch state[child] {
+				case unvisited:
+					state[child] = inProgress
+					stack = append(stack, frame{node: child})
+				case inProgress:
+					return nil, errors.New("pagerank: graph has a cycle")
+				}
+				continue
+			}
+			// Post-order: fold children.
+			best := math.Inf(-1)
+			if len(out) == 0 {
+				best = utils[f.node]
+			} else {
+				for _, c := range out {
+					if bpru[c] > best {
+						best = bpru[c]
+					}
+				}
+			}
+			bpru[f.node] = best
+			state[f.node] = done
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return bpru, nil
+}
+
+// AbsorptionValues computes the damped absorption value of every node
+// of a DAG: terminals are worth reward(t) = utils[t]^rewardExp, and an
+// inner node is worth damping times the mean value of its successors.
+//
+// This is the "probability that this profile can reach the best
+// profile" reading of the paper's rank (Section V-B's closing
+// sentence): a random walk that accommodates one uniformly-chosen
+// feasible VM per step, pays a damping factor per step, and is
+// rewarded by how close to full utilization it ends. The reward
+// exponent sharpens the penalty for stranding capacity (a terminal at
+// 93% utilization with rewardExp=8 is worth 0.6, not 0.93).
+func AbsorptionValues(succ [][]int32, utils []float64, damping, rewardExp float64) ([]float64, error) {
+	n := len(succ)
+	if len(utils) != n {
+		return nil, errors.New("pagerank: utils length mismatch")
+	}
+	if damping <= 0 || damping > 1 {
+		return nil, errors.New("pagerank: damping must be in (0,1]")
+	}
+	if rewardExp <= 0 {
+		return nil, errors.New("pagerank: reward exponent must be positive")
+	}
+	const (
+		unvisited = iota
+		inProgress
+		done
+	)
+	state := make([]uint8, n)
+	value := make([]float64, n)
+
+	type frame struct {
+		node int
+		next int
+	}
+	var stack []frame
+	for start := 0; start < n; start++ {
+		if state[start] == done {
+			continue
+		}
+		stack = append(stack[:0], frame{node: start})
+		state[start] = inProgress
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			out := succ[f.node]
+			if f.next < len(out) {
+				child := int(out[f.next])
+				f.next++
+				switch state[child] {
+				case unvisited:
+					state[child] = inProgress
+					stack = append(stack, frame{node: child})
+				case inProgress:
+					return nil, errors.New("pagerank: graph has a cycle")
+				}
+				continue
+			}
+			if len(out) == 0 {
+				value[f.node] = math.Pow(utils[f.node], rewardExp)
+			} else {
+				sum := 0.0
+				for _, c := range out {
+					sum += value[c]
+				}
+				value[f.node] = damping * sum / float64(len(out))
+			}
+			state[f.node] = done
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return value, nil
+}
+
+// Scores runs Ranks then applies the BPRU discount (Algorithm 1
+// line 19), returning the final per-node scores.
+func Scores(succ [][]int32, utils []float64, opts Options) ([]float64, Result, error) {
+	res, err := Ranks(succ, opts)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	bpru, err := BPRU(succ, utils)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	scores := make([]float64, len(res.Ranks))
+	for i, r := range res.Ranks {
+		scores[i] = r * bpru[i]
+	}
+	return scores, res, nil
+}

@@ -1,0 +1,179 @@
+package placement
+
+import (
+	"math"
+	"sort"
+
+	"pagerankvm/internal/resource"
+)
+
+// FirstFit places a VM on the first used PM (in first-use order) with
+// sufficient resources, as in Eucalyptus-style schedulers [27].
+type FirstFit struct{}
+
+var _ Placer = FirstFit{}
+
+// Name implements Placer.
+func (FirstFit) Name() string { return "FF" }
+
+// Place implements Placer.
+func (FirstFit) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment, error) {
+	for _, pm := range c.UsedPMs() {
+		if pm == exclude || !pm.Fits(vm) {
+			continue
+		}
+		demand, _ := vm.DemandOn(pm.Type)
+		if assign := resource.PackAssign(pm.Shape, pm.Used(), demand); assign != nil {
+			return pm, assign, nil
+		}
+	}
+	return openUnused(c, vm, exclude)
+}
+
+// FFDSum is First-Fit-Decreasing-Sum [30]: VMs are pre-sorted by
+// decreasing weighted dimension sum (see OrderVMs) and then placed
+// first-fit.
+type FFDSum struct{}
+
+var _ Placer = FFDSum{}
+
+// Name implements Placer.
+func (FFDSum) Name() string { return "FFDSum" }
+
+// Place implements Placer.
+func (FFDSum) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment, error) {
+	return FirstFit{}.Place(c, vm, exclude)
+}
+
+// OrderVMs sorts VMs by decreasing demand size (total normalized units,
+// averaged over the PM types the VM can land on), the FFD preprocessing
+// step. Ties break on ascending ID for determinism.
+func (FFDSum) OrderVMs(vms []*VM) {
+	size := func(v *VM) float64 {
+		if len(v.Req) == 0 {
+			return 0
+		}
+		total := 0.0
+		for _, d := range v.Req {
+			total += float64(d.TotalUnits())
+		}
+		return total / float64(len(v.Req))
+	}
+	sort.SliceStable(vms, func(i, j int) bool {
+		si, sj := size(vms[i]), size(vms[j])
+		if si != sj {
+			return si > sj
+		}
+		return vms[i].ID < vms[j].ID
+	})
+}
+
+// CompVM consolidates complementary VMs [10] (Chen & Shen,
+// INFOCOM'14): it is consolidation-first — among feasible used PMs it
+// prefers the accommodation yielding the highest resulting
+// utilization, and among near-maximal options (within utilBand) it
+// picks the one minimizing the variance of per-dimension utilization,
+// i.e. it packs VMs whose demands complement the PM's current skew.
+type CompVM struct{}
+
+var _ Placer = CompVM{}
+
+// utilBand is the utilization tolerance within which CompVM lets the
+// variance criterion decide.
+const utilBand = 0.02
+
+// Name implements Placer.
+func (CompVM) Name() string { return "CompVM" }
+
+// Place implements Placer.
+func (CompVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment, error) {
+	type option struct {
+		pm       *PM
+		assign   resource.Assignment
+		variance float64
+		util     float64
+	}
+	var (
+		options  []option
+		bestUtil = -1.0
+	)
+	for _, pm := range c.UsedPMs() {
+		if pm == exclude || !pm.Fits(vm) {
+			continue
+		}
+		demand, _ := vm.DemandOn(pm.Type)
+		for _, pl := range resource.Placements(pm.Shape, pm.Used(), demand) {
+			variance, util := utilVariance(pm.Shape, pl.Result)
+			options = append(options, option{pm: pm, assign: pl.Assign, variance: variance, util: util})
+			if util > bestUtil {
+				bestUtil = util
+			}
+		}
+	}
+	var best *option
+	for i := range options {
+		o := &options[i]
+		if o.util < bestUtil-utilBand {
+			continue
+		}
+		if best == nil || o.variance < best.variance {
+			best = o
+		}
+	}
+	if best != nil {
+		return best.pm, best.assign, nil
+	}
+	return openUnused(c, vm, exclude)
+}
+
+// utilVariance returns the variance of per-dimension utilization
+// fractions and the mean utilization (Section III-B's u and v).
+func utilVariance(s *resource.Shape, v resource.Vec) (variance, mean float64) {
+	caps := s.Capacity()
+	n := float64(len(v))
+	for i := range v {
+		mean += float64(v[i]) / float64(caps[i])
+	}
+	mean /= n
+	for i := range v {
+		d := float64(v[i])/float64(caps[i]) - mean
+		variance += d * d
+	}
+	return variance / n, mean
+}
+
+// BestFit places the VM on the feasible PM that leaves the minimum
+// remaining resources after hosting it [10]'s greedy flavor.
+type BestFit struct{}
+
+var _ Placer = BestFit{}
+
+// Name implements Placer.
+func (BestFit) Name() string { return "BestFit" }
+
+// Place implements Placer.
+func (BestFit) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment, error) {
+	var (
+		bestPM   *PM
+		bestRem  = math.MaxInt
+		bestDemd resource.VMType
+	)
+	for _, pm := range c.UsedPMs() {
+		if pm == exclude || !pm.Fits(vm) {
+			continue
+		}
+		demand, _ := vm.DemandOn(pm.Type)
+		rem := pm.Shape.TotalCapacity() - pm.Used().Sum() - demand.TotalUnits()
+		if rem < bestRem {
+			bestRem, bestPM, bestDemd = rem, pm, demand
+		}
+	}
+	if bestPM != nil {
+		// Fits held, and for descending unit sizes the tightest-fit
+		// matching always succeeds, so assign is non-nil here.
+		if assign := resource.PackAssign(bestPM.Shape, bestPM.Used(), bestDemd); assign != nil {
+			return bestPM, assign, nil
+		}
+	}
+	return openUnused(c, vm, exclude)
+}

@@ -1,0 +1,252 @@
+// Package placement implements the paper's Algorithm 2 (PageRankVM's
+// initial VM allocation), the comparison algorithms (First Fit,
+// First-Fit-Decreasing-Sum, CompVM, Best Fit), and the overload
+// eviction policies. All algorithms share the anti-collocation
+// machinery of internal/resource, as the paper prescribes ("all
+// algorithms use the strategy of PageRankVM to satisfy the
+// anti-collocation constraints").
+//
+// Types in this package are not safe for concurrent use; a simulation
+// run drives one cluster from one goroutine.
+package placement
+
+import (
+	"errors"
+	"fmt"
+
+	"pagerankvm/internal/resource"
+)
+
+// ErrNoCapacity is returned when no PM — used or unused — can host a VM.
+var ErrNoCapacity = errors.New("placement: no PM with sufficient capacity")
+
+// VM is one placement request: an instance of a catalog VM type. Its
+// integer-unit demands depend on the PM type they are placed on
+// (per-PM-type quantization), hence the map.
+type VM struct {
+	// ID uniquely identifies the VM instance.
+	ID int
+	// Type is the catalog VM type name (e.g. "m3.large").
+	Type string
+	// Req maps a PM type name to the quantized demand of this VM on
+	// that PM type.
+	Req map[string]resource.VMType
+}
+
+// DemandOn returns the quantized demand of the VM on a PM type.
+func (v *VM) DemandOn(pmType string) (resource.VMType, bool) {
+	d, ok := v.Req[pmType]
+	return d, ok
+}
+
+// Hosted records a VM placed on a PM together with its concrete
+// anti-collocation assignment.
+type Hosted struct {
+	VM     *VM
+	Assign resource.Assignment
+}
+
+// PM is one physical machine.
+type PM struct {
+	// ID uniquely identifies the PM.
+	ID int
+	// Type is the catalog PM type name (e.g. "M3").
+	Type string
+	// Shape is the PM's dimension layout.
+	Shape *resource.Shape
+
+	used resource.Vec
+	vms  map[int]Hosted
+}
+
+// NewPM returns an empty PM.
+func NewPM(id int, pmType string, shape *resource.Shape) *PM {
+	return &PM{
+		ID:    id,
+		Type:  pmType,
+		Shape: shape,
+		used:  shape.Zero(),
+		vms:   make(map[int]Hosted),
+	}
+}
+
+// Used returns the PM's current requested-units profile. The returned
+// vector is shared; callers must not modify it.
+func (p *PM) Used() resource.Vec { return p.used }
+
+// NumVMs returns the number of VMs hosted.
+func (p *PM) NumVMs() int { return len(p.vms) }
+
+// Active reports whether the PM hosts at least one VM.
+func (p *PM) Active() bool { return len(p.vms) > 0 }
+
+// VMs returns the hosted VMs. The returned map is shared; callers must
+// not modify it.
+func (p *PM) VMs() map[int]Hosted { return p.vms }
+
+// Fits reports whether vm can be hosted under the PM's remaining
+// capacity with anti-collocation respected.
+func (p *PM) Fits(vm *VM) bool {
+	demand, ok := vm.DemandOn(p.Type)
+	if !ok {
+		return false
+	}
+	return resource.Fits(p.Shape, p.used, demand)
+}
+
+// host places vm with a concrete assignment. The assignment must have
+// been derived from the PM's current profile.
+func (p *PM) host(vm *VM, assign resource.Assignment) error {
+	if _, dup := p.vms[vm.ID]; dup {
+		return fmt.Errorf("placement: vm %d already on pm %d", vm.ID, p.ID)
+	}
+	next := p.used.Add(assign.Vec(p.Shape))
+	if !p.Shape.Valid(next) {
+		return fmt.Errorf("placement: assignment overflows pm %d: %v", p.ID, next)
+	}
+	p.used = next
+	p.vms[vm.ID] = Hosted{VM: vm, Assign: assign}
+	return nil
+}
+
+// remove releases vm's resources.
+func (p *PM) remove(vmID int) (Hosted, error) {
+	h, ok := p.vms[vmID]
+	if !ok {
+		return Hosted{}, fmt.Errorf("placement: vm %d not on pm %d", vmID, p.ID)
+	}
+	p.used = p.used.Sub(h.Assign.Vec(p.Shape))
+	delete(p.vms, vmID)
+	return h, nil
+}
+
+// Cluster tracks the datacenter's PMs and which VMs they host. It keeps
+// the paper's two lists: used PMs (hosting at least one VM, in
+// first-use order) and unused PMs (in inventory order).
+type Cluster struct {
+	pms    []*PM
+	used   []*PM
+	unused []*PM
+	loc    map[int]*PM // vm id -> hosting PM
+
+	// MaxUsed tracks the high-water mark of simultaneously used PMs —
+	// the paper's "number of PMs used" metric.
+	MaxUsed int
+}
+
+// NewCluster builds a cluster over the given PM inventory. All PMs
+// start unused.
+func NewCluster(pms []*PM) *Cluster {
+	c := &Cluster{
+		pms:    pms,
+		unused: make([]*PM, len(pms)),
+		loc:    make(map[int]*PM),
+	}
+	copy(c.unused, pms)
+	return c
+}
+
+// PMs returns all PMs in inventory order. The slice is shared.
+func (c *Cluster) PMs() []*PM { return c.pms }
+
+// UsedPMs returns the used list in first-use order. The slice is shared.
+func (c *Cluster) UsedPMs() []*PM { return c.used }
+
+// UnusedPMs returns the unused list. The slice is shared.
+func (c *Cluster) UnusedPMs() []*PM { return c.unused }
+
+// NumUsed returns the number of PMs currently hosting VMs.
+func (c *Cluster) NumUsed() int { return len(c.used) }
+
+// Locate returns the PM hosting the VM with the given id.
+func (c *Cluster) Locate(vmID int) (*PM, bool) {
+	pm, ok := c.loc[vmID]
+	return pm, ok
+}
+
+// NumVMs returns the number of placed VMs.
+func (c *Cluster) NumVMs() int { return len(c.loc) }
+
+// Host places vm on pm with the given assignment, maintaining the
+// used/unused lists.
+func (c *Cluster) Host(pm *PM, vm *VM, assign resource.Assignment) error {
+	if _, placed := c.loc[vm.ID]; placed {
+		return fmt.Errorf("placement: vm %d already placed", vm.ID)
+	}
+	wasActive := pm.Active()
+	if err := pm.host(vm, assign); err != nil {
+		return err
+	}
+	c.loc[vm.ID] = pm
+	if !wasActive {
+		c.used = append(c.used, pm)
+		c.removeUnused(pm)
+		if len(c.used) > c.MaxUsed {
+			c.MaxUsed = len(c.used)
+		}
+	}
+	return nil
+}
+
+// Release removes the VM from its PM and returns the released record.
+// An emptied PM moves back to the unused list (it can be powered off).
+func (c *Cluster) Release(vmID int) (Hosted, error) {
+	pm, ok := c.loc[vmID]
+	if !ok {
+		return Hosted{}, fmt.Errorf("placement: vm %d not placed", vmID)
+	}
+	h, err := pm.remove(vmID)
+	if err != nil {
+		return Hosted{}, err
+	}
+	delete(c.loc, vmID)
+	if !pm.Active() {
+		c.removeUsed(pm)
+		c.unused = append(c.unused, pm)
+	}
+	return h, nil
+}
+
+func (c *Cluster) removeUnused(pm *PM) {
+	for i, p := range c.unused {
+		if p == pm {
+			c.unused = append(c.unused[:i], c.unused[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Cluster) removeUsed(pm *PM) {
+	for i, p := range c.used {
+		if p == pm {
+			c.used = append(c.used[:i], c.used[i+1:]...)
+			return
+		}
+	}
+}
+
+// Placer selects a PM and a concrete assignment for a VM without
+// mutating the cluster; callers commit the decision with Cluster.Host.
+// exclude, when non-nil, is a PM that must not be chosen (the overload
+// source during a migration).
+type Placer interface {
+	Name() string
+	Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment, error)
+}
+
+// openUnused implements the shared tail of Algorithm 2 (lines 17-24):
+// take the first unused PM that can host the VM.
+func openUnused(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment, error) {
+	for _, pm := range c.unused {
+		if pm == exclude || !pm.Fits(vm) {
+			continue
+		}
+		demand, _ := vm.DemandOn(pm.Type)
+		assign := resource.GreedyAssign(pm.Shape, pm.Used(), demand)
+		if assign == nil {
+			continue
+		}
+		return pm, assign, nil
+	}
+	return nil, nil, ErrNoCapacity
+}

@@ -1,0 +1,190 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+)
+
+// PageRankVM is the paper's Algorithm 2: for a given VM it derives, on
+// every used PM with sufficient resources, the set of possible PM
+// profiles after accommodating every permutation of the VM's demands,
+// looks the resulting profiles up in the Profile→PageRank score table,
+// and places the VM where the best resulting profile scores highest.
+//
+// Score ties (PMs whose resulting profiles coincide) are broken
+// uniformly at random with a seeded generator: the paper does not
+// specify tie-breaking, and always taking the first candidate would
+// pile consecutive same-tenant requests onto one PM.
+type PageRankVM struct {
+	rankers *ranktable.Registry
+	rng     *rand.Rand
+
+	// twoChoice enables the Section V-C variant: instead of scanning
+	// the whole used list, sample two random used PMs and pick the
+	// better one.
+	twoChoice bool
+}
+
+var _ Placer = (*PageRankVM)(nil)
+
+// scoreEpsilon is the relative tolerance within which two placement
+// scores count as tied.
+const scoreEpsilon = 1e-12
+
+// PageRankOption configures the PageRankVM placer.
+type PageRankOption interface{ apply(*PageRankVM) }
+
+type twoChoiceOption struct{}
+
+func (twoChoiceOption) apply(p *PageRankVM) { p.twoChoice = true }
+
+// WithTwoChoice enables 2-choice candidate sampling.
+func WithTwoChoice() PageRankOption { return twoChoiceOption{} }
+
+type seedOption struct{ seed int64 }
+
+func (o seedOption) apply(p *PageRankVM) { p.rng = rand.New(rand.NewSource(o.seed)) }
+
+// WithSeed sets the seed of the tie-breaking (and 2-choice sampling)
+// generator; the default seed is 1.
+func WithSeed(seed int64) PageRankOption { return seedOption{seed: seed} }
+
+// NewPageRankVM builds the placer over a registry holding one ranker
+// per PM type in the inventory.
+func NewPageRankVM(rankers *ranktable.Registry, opts ...PageRankOption) *PageRankVM {
+	p := &PageRankVM{
+		rankers: rankers,
+		rng:     rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o.apply(p)
+	}
+	return p
+}
+
+// Ranker returns the ranker registered for a PM type — extensions
+// (e.g. the network-aware decorator) evaluate candidate profiles with
+// the same tables the placer uses.
+func (p *PageRankVM) Ranker(pmType string) (ranktable.Ranker, bool) {
+	return p.rankers.Get(pmType)
+}
+
+// Name implements Placer.
+func (p *PageRankVM) Name() string {
+	if p.twoChoice {
+		return "PageRankVM-2choice"
+	}
+	return "PageRankVM"
+}
+
+// Place implements Placer (Algorithm 2).
+func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment, error) {
+	candidates := c.UsedPMs()
+	if p.twoChoice && len(candidates) > 2 {
+		candidates = p.sample(candidates)
+	}
+
+	var (
+		bestPM     *PM
+		bestAssign resource.Assignment
+		bestScore  = -1.0
+		ties       = 0
+	)
+	for _, pm := range candidates {
+		if pm == exclude || !pm.Fits(vm) {
+			continue
+		}
+		score, assign, err := p.bestOn(pm, vm)
+		if err != nil {
+			return nil, nil, err
+		}
+		if assign == nil {
+			continue
+		}
+		switch {
+		case score > bestScore*(1+scoreEpsilon):
+			bestScore, bestPM, bestAssign = score, pm, assign
+			ties = 1
+		case score >= bestScore*(1-scoreEpsilon):
+			// Tie: reservoir-sample uniformly among tied candidates.
+			ties++
+			if p.rng.Intn(ties) == 0 {
+				bestPM, bestAssign = pm, assign
+			}
+		}
+	}
+	if bestPM != nil {
+		return bestPM, bestAssign, nil
+	}
+	// Lines 17-24: fall back to an unused PM, choosing the
+	// best-scoring accommodation on the fresh profile.
+	for _, pm := range c.UnusedPMs() {
+		if pm == exclude || !pm.Fits(vm) {
+			continue
+		}
+		_, assign, err := p.bestOn(pm, vm)
+		if err != nil {
+			return nil, nil, err
+		}
+		if assign != nil {
+			return pm, assign, nil
+		}
+	}
+	return nil, nil, ErrNoCapacity
+}
+
+// bestOn scores every distinct accommodation of vm on pm and returns
+// the best (lines 6-7 of Algorithm 2).
+func (p *PageRankVM) bestOn(pm *PM, vm *VM) (float64, resource.Assignment, error) {
+	ranker, ok := p.rankers.Get(pm.Type)
+	if !ok {
+		return 0, nil, fmt.Errorf("placement: no ranker registered for PM type %q", pm.Type)
+	}
+	demand, ok := vm.DemandOn(pm.Type)
+	if !ok {
+		return 0, nil, nil
+	}
+	var (
+		bestScore  = -1.0
+		bestAssign resource.Assignment
+	)
+	for _, pl := range resource.Placements(pm.Shape, pm.Used(), demand) {
+		score, ok := ranker.Score(pl.Result)
+		if !ok {
+			continue
+		}
+		if score > bestScore {
+			bestScore, bestAssign = score, pl.Assign
+		}
+	}
+	if bestAssign == nil {
+		return 0, nil, nil
+	}
+	return bestScore, bestAssign, nil
+}
+
+// sample draws two distinct random used PMs (the 2-choice method).
+func (p *PageRankVM) sample(used []*PM) []*PM {
+	i := p.rng.Intn(len(used))
+	j := p.rng.Intn(len(used) - 1)
+	if j >= i {
+		j++
+	}
+	return []*PM{used[i], used[j]}
+}
+
+// ScoreVictim returns the rank of pm's residual profile after removing
+// the hosted VM — the paper's overload handling picks the VM whose
+// removal yields the highest residual score. ok is false when the PM
+// type has no ranker or the profile is outside the table.
+func (p *PageRankVM) ScoreVictim(pm *PM, h Hosted) (float64, bool) {
+	ranker, ok := p.rankers.Get(pm.Type)
+	if !ok {
+		return 0, false
+	}
+	residual := pm.Used().Sub(h.Assign.Vec(pm.Shape))
+	return ranker.Score(residual)
+}

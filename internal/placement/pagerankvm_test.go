@@ -1,0 +1,250 @@
+package placement
+
+import (
+	"errors"
+	"testing"
+
+	"pagerankvm/internal/resource"
+)
+
+func TestPageRankVMPrefersUsedPMs(t *testing.T) {
+	c := newCluster(3)
+	p := NewPageRankVM(smallRegistry(t))
+	pm0 := c.PMs()[0]
+	mustHost(t, c, pm0, newVM(0, "[1,1]"))
+
+	pm, _, err := p.Place(c, newVM(1, "[1,1]"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm != pm0 {
+		t.Fatalf("placed on pm %d, want used pm 0", pm.ID)
+	}
+}
+
+func TestPageRankVMPicksBestAccommodation(t *testing.T) {
+	c := newCluster(1)
+	p := NewPageRankVM(smallRegistry(t))
+	pm := c.PMs()[0]
+	// Load the PM to [2,2,1,1] (via one [1,1,1,1] and one [1,1]).
+	mustHost(t, c, pm, newVM(0, "[1,1,1,1]"))
+	mustHost(t, c, pm, newVM(1, "[1,1]"))
+
+	// A [1,1] can produce [3,3,1,1], [3,2,2,1] or [2,2,2,2].
+	// Algorithm 2's contract: the placer commits to the outcome with
+	// the maximum Profile→PageRank table score.
+	reg := smallRegistry(t)
+	ranker, _ := reg.Get(pmSmall)
+	demand, _ := newVM(2, "[1,1]").DemandOn(pmSmall)
+	wantScore := -1.0
+	var wantProfile resource.Vec
+	for _, pl := range resource.Placements(pm.Shape, pm.Used(), demand) {
+		if s, ok := ranker.Score(pl.Result); ok && s > wantScore {
+			wantScore, wantProfile = s, pm.Shape.Canon(pl.Result)
+		}
+	}
+
+	got, assign, err := p.Place(c, newVM(2, "[1,1]"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != pm {
+		t.Fatalf("placed on pm %d", got.ID)
+	}
+	result := pm.Shape.Canon(pm.Used().Add(assign.Vec(pm.Shape)))
+	if !result.Equal(wantProfile) {
+		t.Fatalf("resulting profile %v, want argmax %v (score %v)", result, wantProfile, wantScore)
+	}
+}
+
+func TestPageRankVMOpensUnusedWhenFull(t *testing.T) {
+	c := newCluster(2)
+	p := NewPageRankVM(smallRegistry(t))
+	for i := 0; i < 4; i++ {
+		place(t, c, p, newVM(i, "[1,1,1,1]"))
+	}
+	if c.NumUsed() != 1 {
+		t.Fatalf("used %d PMs after filling, want 1", c.NumUsed())
+	}
+	pm := place(t, c, p, newVM(5, "[1,1]"))
+	if pm != c.PMs()[1] {
+		t.Fatalf("overflow went to pm %d, want 1", pm.ID)
+	}
+}
+
+func TestPageRankVMNoCapacity(t *testing.T) {
+	c := newCluster(1)
+	p := NewPageRankVM(smallRegistry(t))
+	for i := 0; i < 4; i++ {
+		place(t, c, p, newVM(i, "[1,1,1,1]"))
+	}
+	_, _, err := p.Place(c, newVM(9, "[1,1]"), nil)
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestPageRankVMExcludesSource(t *testing.T) {
+	c := newCluster(2)
+	p := NewPageRankVM(smallRegistry(t))
+	src := c.PMs()[0]
+	mustHost(t, c, src, newVM(0, "[1,1]"))
+	pm, _, err := p.Place(c, newVM(1, "[1,1]"), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm == src {
+		t.Fatal("excluded PM chosen")
+	}
+}
+
+func TestPageRankVMMissingRanker(t *testing.T) {
+	c := newCluster(1)
+	mustHost(t, c, c.PMs()[0], newVM(0, "[1,1]"))
+	p := NewPageRankVM(smallRegistry(t))
+	// A PM type absent from the registry is a configuration error.
+	other := NewPM(7, "unknown", smallShape())
+	cBad := NewCluster([]*PM{other})
+	vm := &VM{ID: 5, Type: "[1,1]", Req: map[string]resource.VMType{
+		"unknown": resource.NewVMType("[1,1]", resource.Demand{Group: "cpu", Units: []int{1, 1}}),
+	}}
+	mustHost(t, cBad, other, vm)
+	if _, _, err := p.Place(cBad, vm2ForType(6, "unknown"), nil); err == nil {
+		t.Fatal("missing ranker not reported")
+	}
+}
+
+func vm2ForType(id int, pmType string) *VM {
+	return &VM{ID: id, Type: "[1,1]", Req: map[string]resource.VMType{
+		pmType: resource.NewVMType("[1,1]", resource.Demand{Group: "cpu", Units: []int{1, 1}}),
+	}}
+}
+
+func TestPageRankVMTwoChoice(t *testing.T) {
+	c := newCluster(6)
+	p := NewPageRankVM(smallRegistry(t), WithTwoChoice())
+	if p.Name() != "PageRankVM-2choice" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	for i := 0; i < 20; i++ {
+		vm := newVM(i, "[1,1]")
+		pm, assign, err := p.Place(c, vm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Host(pm, vm, assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.NumVMs() != 20 {
+		t.Fatalf("placed %d VMs", c.NumVMs())
+	}
+	caps := smallShape().Capacity()
+	for _, pm := range c.PMs() {
+		if !pm.Used().LE(caps) {
+			t.Fatalf("pm %d overcommitted", pm.ID)
+		}
+	}
+}
+
+func TestScoreVictim(t *testing.T) {
+	c := newCluster(1)
+	p := NewPageRankVM(smallRegistry(t))
+	pm := c.PMs()[0]
+	mustHost(t, c, pm, newVM(0, "[1,1,1,1]"))
+	mustHost(t, c, pm, newVM(1, "[1,1]"))
+	h := pm.VMs()[1]
+	score, ok := p.ScoreVictim(pm, h)
+	if !ok {
+		t.Fatal("ScoreVictim failed")
+	}
+	if score <= 0 {
+		t.Fatalf("score = %v", score)
+	}
+}
+
+func TestRankEvictorRelievesOverloadedDim(t *testing.T) {
+	c := newCluster(1)
+	p := NewPageRankVM(smallRegistry(t))
+	pm := c.PMs()[0]
+	// VM0 occupies dims {0,1}; VM1 occupies all dims.
+	mustHost(t, c, pm, newVM(0, "[1,1]"))
+	mustHost(t, c, pm, newVM(1, "[1,1,1,1]"))
+
+	ev := RankEvictor{Placer: p}
+	if ev.Name() != "rank" {
+		t.Fatalf("Name = %q", ev.Name())
+	}
+	// Overload reported only on dim 3: VM0 does not touch it, so the
+	// victim must be VM1.
+	id, ok := ev.SelectVictim(pm, []int{3})
+	if !ok || id != 1 {
+		t.Fatalf("victim = %d, %v; want 1", id, ok)
+	}
+	// Overload on dim 0: both qualify; the victim is whichever leaves
+	// the higher-ranked residual profile. Removing VM1 leaves [1,1,0,0]
+	// which far outranks removing VM0's [1,1,1,1]... both valid; just
+	// assert a victim is found and is a real VM.
+	id, ok = ev.SelectVictim(pm, []int{0})
+	if !ok || (id != 0 && id != 1) {
+		t.Fatalf("victim = %d, %v", id, ok)
+	}
+}
+
+func TestRankEvictorNoCandidate(t *testing.T) {
+	c := newCluster(1)
+	p := NewPageRankVM(smallRegistry(t))
+	pm := c.PMs()[0]
+	mustHost(t, c, pm, newVM(0, "[1,1]")) // greedy assign -> dims 0,1
+	ev := RankEvictor{Placer: p}
+	if _, ok := ev.SelectVictim(pm, []int{3}); ok {
+		t.Fatal("found a victim on an untouched dim")
+	}
+}
+
+func TestMMTEvictorPicksSmallestMemory(t *testing.T) {
+	shape := resource.MustShape(
+		resource.Group{Name: "cpu", Dims: 2, Cap: 4},
+		resource.Group{Name: "mem", Dims: 1, Cap: 8},
+	)
+	small := resource.NewVMType("small",
+		resource.Demand{Group: "cpu", Units: []int{1}},
+		resource.Demand{Group: "mem", Units: []int{1}},
+	)
+	big := resource.NewVMType("big",
+		resource.Demand{Group: "cpu", Units: []int{1}},
+		resource.Demand{Group: "mem", Units: []int{4}},
+	)
+	pm := NewPM(0, "t", shape)
+	c := NewCluster([]*PM{pm})
+	vmSmall := &VM{ID: 0, Type: "small", Req: map[string]resource.VMType{"t": small}}
+	vmBig := &VM{ID: 1, Type: "big", Req: map[string]resource.VMType{"t": big}}
+	mustHost(t, c, pm, vmBig)
+	mustHost(t, c, pm, vmSmall)
+
+	ev := MMTEvictor{}
+	if ev.Name() != "mmt" {
+		t.Fatalf("Name = %q", ev.Name())
+	}
+	// Both VMs share cpu dims; overload on dim 0 or 1.
+	overloaded := []int{0, 1}
+	id, ok := ev.SelectVictim(pm, overloaded)
+	if !ok || id != 0 {
+		t.Fatalf("victim = %d, %v; want 0 (smallest memory)", id, ok)
+	}
+}
+
+func TestMMTEvictorFallbackNoMemGroup(t *testing.T) {
+	c := newCluster(1)
+	pm := c.PMs()[0]
+	mustHost(t, c, pm, newVM(0, "[1,1]"))
+	mustHost(t, c, pm, newVM(1, "[1,1,1,1]"))
+	ev := MMTEvictor{}
+	// No "mem" group: falls back to total units; the [1,1] VM is
+	// smaller. Both touch dim 0 (greedy spread for vm0: dims with most
+	// headroom = 0,1; vm1 all dims).
+	id, ok := ev.SelectVictim(pm, []int{0})
+	if !ok || id != 0 {
+		t.Fatalf("victim = %d, %v; want 0", id, ok)
+	}
+}

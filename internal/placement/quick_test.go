@@ -1,0 +1,170 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pagerankvm/internal/resource"
+)
+
+// Property: under any random sequence of placements and releases the
+// cluster bookkeeping stays consistent — used/unused lists partition
+// the inventory, the location index matches PM contents, capacities
+// hold, and MaxUsed is a high-water mark.
+func TestClusterBookkeepingQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := newCluster(3)
+		ff := FirstFit{}
+		placed := map[int]bool{}
+		nextID := 0
+		maxSeen := 0
+
+		for op := 0; op < 60; op++ {
+			if r.Intn(3) != 0 || len(placed) == 0 {
+				name := "[1,1]"
+				if r.Intn(2) == 0 {
+					name = "[1,1,1,1]"
+				}
+				vm := newVM(nextID, name)
+				nextID++
+				pm, assign, err := ff.Place(c, vm, nil)
+				if err != nil {
+					continue // full; fine
+				}
+				if err := c.Host(pm, vm, assign); err != nil {
+					return false
+				}
+				placed[vm.ID] = true
+			} else {
+				// Release a random placed VM.
+				var victim int
+				k := r.Intn(len(placed))
+				for id := range placed {
+					if k == 0 {
+						victim = id
+						break
+					}
+					k--
+				}
+				if _, err := c.Release(victim); err != nil {
+					return false
+				}
+				delete(placed, victim)
+			}
+			if c.NumUsed() > maxSeen {
+				maxSeen = c.NumUsed()
+			}
+
+			// Invariants after every operation.
+			if len(c.UsedPMs())+len(c.UnusedPMs()) != len(c.PMs()) {
+				return false
+			}
+			for _, pm := range c.UsedPMs() {
+				if !pm.Active() {
+					return false
+				}
+			}
+			for _, pm := range c.UnusedPMs() {
+				if pm.Active() {
+					return false
+				}
+			}
+			caps := smallShape().Capacity()
+			total := 0
+			for _, pm := range c.PMs() {
+				if !pm.Used().LE(caps) {
+					return false
+				}
+				recomputed := pm.Shape.Zero()
+				for _, h := range pm.VMs() {
+					recomputed = recomputed.Add(h.Assign.Vec(pm.Shape))
+				}
+				if !recomputed.Equal(pm.Used()) {
+					return false
+				}
+				total += pm.NumVMs()
+			}
+			if total != len(placed) || c.NumVMs() != len(placed) {
+				return false
+			}
+			for id := range placed {
+				pm, ok := c.Locate(id)
+				if !ok {
+					return false
+				}
+				if _, hosted := pm.VMs()[id]; !hosted {
+					return false
+				}
+			}
+			if c.MaxUsed != maxSeen {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GreedyAssign and PackAssign succeed exactly when Fits says
+// a placement exists, and both respect capacity and anti-collocation.
+func TestAssignFunctionsAgreeWithFits(t *testing.T) {
+	shape := resource.MustShape(
+		resource.Group{Name: "cpu", Dims: 4, Cap: 3},
+		resource.Group{Name: "disk", Dims: 2, Cap: 5},
+	)
+	types := []resource.VMType{
+		resource.NewVMType("a", resource.Demand{Group: "cpu", Units: []int{1, 1}}),
+		resource.NewVMType("b", resource.Demand{Group: "cpu", Units: []int{2, 2, 2}}),
+		resource.NewVMType("c",
+			resource.Demand{Group: "cpu", Units: []int{3}},
+			resource.Demand{Group: "disk", Units: []int{4, 2}}),
+	}
+	caps := shape.Capacity()
+	rng := rand.New(rand.NewSource(33))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := make(resource.Vec, shape.NumDims())
+		for i := range p {
+			p[i] = r.Intn(caps[i] + 1)
+		}
+		vt := types[r.Intn(len(types))]
+		fits := resource.Fits(shape, p, vt)
+		for _, assignFn := range []func(*resource.Shape, resource.Vec, resource.VMType) resource.Assignment{
+			resource.GreedyAssign, resource.PackAssign,
+		} {
+			assign := assignFn(shape, p, vt)
+			if (assign != nil) != fits {
+				return false
+			}
+			if assign == nil {
+				continue
+			}
+			result := p.Add(assign.Vec(shape))
+			if !result.LE(caps) {
+				return false
+			}
+			// Anti-collocation within each demand: dims distinct.
+			// Demands target disjoint groups here, so global
+			// uniqueness suffices.
+			seen := map[int]bool{}
+			for _, du := range assign {
+				if seen[du.Dim] {
+					return false
+				}
+				seen[du.Dim] = true
+			}
+			if result.Sum()-p.Sum() != vt.TotalUnits() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,325 @@
+// Package ranktable turns the PageRank scores of Algorithm 1 into the
+// Profile→PageRank score table that Algorithm 2 consults during VM
+// placement.
+//
+// Two rankers are provided:
+//
+//   - Joint runs Algorithm 1 on the full (canonical) profile lattice of
+//     a PM shape. It is exact but only feasible for moderate shapes.
+//   - Factored runs Algorithm 1 once per resource group on the group's
+//     own sub-lattice with the VM types projected onto the group, and
+//     scores a profile as the product of its group scores. This scales
+//     to large PM types (the paper's Table II) at the cost of ignoring
+//     cross-group demand coupling; the ablation benchmark
+//     BenchmarkAblationJointVsFactored quantifies the difference.
+package ranktable
+
+import (
+	"fmt"
+	"sort"
+
+	"pagerankvm/internal/lattice"
+	"pagerankvm/internal/pagerank"
+	"pagerankvm/internal/resource"
+)
+
+// Ranker scores PM usage profiles. Implementations are safe for
+// concurrent readers after construction.
+type Ranker interface {
+	// Shape returns the PM shape the ranker was built for.
+	Shape() *resource.Shape
+	// Score returns the rank of a (not necessarily canonical) profile.
+	// ok is false when the profile is outside the lattice.
+	Score(p resource.Vec) (score float64, ok bool)
+	// ScoreKey returns the rank for a canonical profile key.
+	ScoreKey(key string) (score float64, ok bool)
+}
+
+// BuildStats summarizes a table build.
+type BuildStats struct {
+	Nodes      int
+	Edges      int
+	Iterations int
+	Converged  bool
+}
+
+// Table is a concrete Profile→score table over one lattice (either the
+// joint lattice or one group's sub-lattice).
+type Table struct {
+	shape  *resource.Shape
+	scores map[string]float64
+	stats  BuildStats
+}
+
+var _ Ranker = (*Table)(nil)
+
+// Mode selects the rank semantics applied to the profile graph. The
+// paper's Algorithm 1 is internally inconsistent — the literal Equ.
+// (12) (votes flow from a profile to the profiles reachable by adding
+// a VM) produces orderings that contradict the paper's own worked
+// examples (Figure 2, Section III-B); ranking on the reversed graph
+// matches the examples but degenerates to worst-fit placement. The
+// closing sentence of Section V-B states what the rank is supposed to
+// mean: "the probability that this profile can reach the best profile
+// or high resource utilization". ModeAbsorption implements exactly
+// that — the damped absorption value of a random walk over the
+// profile graph (see pagerank.AbsorptionValues) — reproduces every
+// worked example in the paper, and consolidates. It is the default;
+// the PageRank modes remain for the interpretation ablation
+// (BenchmarkAblationRankMode). See DESIGN.md for the full discussion.
+type Mode int
+
+const (
+	// ModeAbsorption ranks a profile by the damped expected terminal
+	// utilization of a random walk that repeatedly accommodates a
+	// feasible VM (default; matches the paper's examples and claims).
+	ModeAbsorption Mode = iota
+	// ModeReversePR runs PageRank with votes flowing from a profile
+	// to the profiles that can develop into it.
+	ModeReversePR
+	// ModeForwardPR is the literal reading of Equ. (12).
+	ModeForwardPR
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeForwardPR:
+		return "forward-pr"
+	case ModeReversePR:
+		return "reverse-pr"
+	default:
+		return "absorption"
+	}
+}
+
+// DefaultRewardExponent sharpens the terminal-utilization reward of
+// ModeAbsorption (see pagerank.AbsorptionValues).
+const DefaultRewardExponent = 8
+
+// Options configures table construction.
+type Options struct {
+	// PageRank configures the Algorithm 1 iteration (the Damping
+	// field is shared by ModeAbsorption's walk).
+	PageRank pagerank.Options
+	// Mode selects the rank semantics; the zero value is
+	// ModeAbsorption.
+	Mode Mode
+	// RewardExponent is ModeAbsorption's terminal reward sharpening;
+	// 0 selects DefaultRewardExponent.
+	RewardExponent float64
+	// DisableBPRU skips the line-19 discount in the PageRank modes
+	// (for the BPRU ablation); ModeAbsorption ignores it, since the
+	// dead-end discount is inherent to the absorption value.
+	DisableBPRU bool
+}
+
+// NewJoint builds the exact Profile→score table for shape under the
+// given VM-type set (Algorithm 1 on the full canonical lattice).
+func NewJoint(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Table, error) {
+	space, err := lattice.New(shape, vmTypes)
+	if err != nil {
+		return nil, fmt.Errorf("ranktable: joint lattice: %w", err)
+	}
+	return fromSpace(space, opts)
+}
+
+func fromSpace(space *lattice.Space, opts Options) (*Table, error) {
+	fwd := make([][]int32, space.Len())
+	for i := range fwd {
+		fwd[i] = space.Succ(i)
+	}
+	utils := space.Utils()
+
+	var (
+		scores []float64
+		res    pagerank.Result
+		err    error
+	)
+	switch opts.Mode {
+	case ModeAbsorption:
+		damping := opts.PageRank.Damping
+		if damping == 0 {
+			damping = pagerank.DefaultDamping
+		}
+		rewardExp := opts.RewardExponent
+		if rewardExp == 0 {
+			rewardExp = DefaultRewardExponent
+		}
+		scores, err = pagerank.AbsorptionValues(fwd, utils, damping, rewardExp)
+		res = pagerank.Result{Converged: true}
+	case ModeForwardPR, ModeReversePR:
+		votes := fwd
+		if opts.Mode == ModeReversePR {
+			votes = reverse(fwd)
+		}
+		res, err = pagerank.Ranks(votes, opts.PageRank)
+		if err == nil {
+			scores = res.Ranks
+			if !opts.DisableBPRU {
+				var bpru []float64
+				bpru, err = pagerank.BPRU(fwd, utils)
+				if err == nil {
+					discounted := make([]float64, len(scores))
+					for i, r := range scores {
+						discounted[i] = r * bpru[i]
+					}
+					scores = discounted
+				}
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown mode %d", opts.Mode)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ranktable: %w", err)
+	}
+
+	t := &Table{
+		shape:  space.Shape(),
+		scores: make(map[string]float64, space.Len()),
+		stats: BuildStats{
+			Nodes:      space.Len(),
+			Edges:      space.Edges(),
+			Iterations: res.Iterations,
+			Converged:  res.Converged,
+		},
+	}
+	for i := 0; i < space.Len(); i++ {
+		t.scores[t.shape.KeyCanon(space.Node(i))] = scores[i]
+	}
+	return t, nil
+}
+
+// Shape returns the PM shape of the table.
+func (t *Table) Shape() *resource.Shape { return t.shape }
+
+// Stats returns build diagnostics.
+func (t *Table) Stats() BuildStats { return t.stats }
+
+// Len returns the number of profiles in the table.
+func (t *Table) Len() int { return len(t.scores) }
+
+// Score returns the rank of profile p.
+func (t *Table) Score(p resource.Vec) (float64, bool) {
+	if len(p) != t.shape.NumDims() {
+		return 0, false
+	}
+	s, ok := t.scores[t.shape.Key(p)]
+	return s, ok
+}
+
+// ScoreKey returns the rank for a canonical profile key.
+func (t *Table) ScoreKey(key string) (float64, bool) {
+	s, ok := t.scores[key]
+	return s, ok
+}
+
+// Entry pairs a canonical profile with its score, for inspection and
+// reporting (Figure 1 reproduction).
+type Entry struct {
+	Profile resource.Vec
+	Score   float64
+}
+
+// Top returns the n highest-scoring profiles, ties broken by profile
+// order, descending by score.
+func (t *Table) Top(n int) []Entry {
+	entries := make([]Entry, 0, len(t.scores))
+	for key, score := range t.scores {
+		entries = append(entries, Entry{Profile: decodeKey(key), Score: score})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Score != entries[j].Score {
+			return entries[i].Score > entries[j].Score
+		}
+		return entries[i].Profile.String() < entries[j].Profile.String()
+	})
+	if n > 0 && n < len(entries) {
+		entries = entries[:n]
+	}
+	return entries
+}
+
+// reverse flips every edge of the graph.
+func reverse(succ [][]int32) [][]int32 {
+	rev := make([][]int32, len(succ))
+	for i, out := range succ {
+		for _, j := range out {
+			rev[j] = append(rev[j], int32(i))
+		}
+	}
+	return rev
+}
+
+func decodeKey(key string) resource.Vec {
+	v := make(resource.Vec, len(key))
+	for i := 0; i < len(key); i++ {
+		v[i] = int(key[i])
+	}
+	return v
+}
+
+// Factored scores profiles as the product of independent per-group
+// tables.
+type Factored struct {
+	shape  *resource.Shape
+	groups []*Table // indexed by group, nil when no VM type touches it
+}
+
+var _ Ranker = (*Factored)(nil)
+
+// NewFactored builds one table per resource group of shape, with the
+// VM-type set projected onto each group.
+func NewFactored(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Factored, error) {
+	f := &Factored{
+		shape:  shape,
+		groups: make([]*Table, shape.NumGroups()),
+	}
+	for gi := 0; gi < shape.NumGroups(); gi++ {
+		sub := shape.SubShape(gi)
+		var projected []resource.VMType
+		for _, vt := range vmTypes {
+			if p, ok := vt.Project(shape.Group(gi).Name); ok {
+				projected = append(projected, p)
+			}
+		}
+		table, err := NewJoint(sub, projected, opts)
+		if err != nil {
+			return nil, fmt.Errorf("ranktable: group %q: %w", shape.Group(gi).Name, err)
+		}
+		f.groups[gi] = table
+	}
+	return f, nil
+}
+
+// Shape returns the PM shape of the ranker.
+func (f *Factored) Shape() *resource.Shape { return f.shape }
+
+// GroupTable returns the table for group gi.
+func (f *Factored) GroupTable(gi int) *Table { return f.groups[gi] }
+
+// Score returns the product of the per-group scores of p.
+func (f *Factored) Score(p resource.Vec) (float64, bool) {
+	if len(p) != f.shape.NumDims() {
+		return 0, false
+	}
+	score := 1.0
+	for gi, table := range f.groups {
+		sub := f.shape.Project(p, gi)
+		s, ok := table.Score(sub)
+		if !ok {
+			return 0, false
+		}
+		score *= s
+	}
+	return score, true
+}
+
+// ScoreKey decodes a canonical joint key and scores it.
+func (f *Factored) ScoreKey(key string) (float64, bool) {
+	if len(key) != f.shape.NumDims() {
+		return 0, false
+	}
+	return f.Score(decodeKey(key))
+}

@@ -1,0 +1,78 @@
+package ranktable
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pagerankvm/internal/resource"
+)
+
+// tableWire is the gob wire format of a Table. Scores are keyed by the
+// canonical byte-string keys.
+type tableWire struct {
+	Groups []resource.Group
+	Scores map[string]float64
+	Stats  BuildStats
+}
+
+// Save writes the table to w in gob format. Building a large table is
+// much slower than loading one, so production deployments build once
+// (the paper: "the graph and Profile-PageRank score table are
+// relatively stable during a certain period of time") and distribute
+// the serialized table.
+func (t *Table) Save(w io.Writer) error {
+	groups := make([]resource.Group, t.shape.NumGroups())
+	for i := range groups {
+		groups[i] = t.shape.Group(i)
+	}
+	wire := tableWire{Groups: groups, Scores: t.scores, Stats: t.stats}
+	if err := gob.NewEncoder(w).Encode(wire); err != nil {
+		return fmt.Errorf("ranktable: save: %w", err)
+	}
+	return nil
+}
+
+// LoadTable reads a table previously written by Save.
+func LoadTable(r io.Reader) (*Table, error) {
+	var wire tableWire
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("ranktable: load: %w", err)
+	}
+	shape, err := resource.NewShape(wire.Groups...)
+	if err != nil {
+		return nil, fmt.Errorf("ranktable: load: %w", err)
+	}
+	if wire.Scores == nil {
+		wire.Scores = make(map[string]float64)
+	}
+	return &Table{shape: shape, scores: wire.Scores, stats: wire.Stats}, nil
+}
+
+// Registry maps PM type names to their rankers. A datacenter with
+// heterogeneous PM types (Table II: M3 and C3) holds one ranker per
+// type. Registry is not safe for concurrent mutation; build it up
+// front.
+type Registry struct {
+	rankers map[string]Ranker
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{rankers: make(map[string]Ranker)}
+}
+
+// Add registers a ranker under a PM type name, replacing any previous
+// entry.
+func (r *Registry) Add(pmType string, ranker Ranker) {
+	r.rankers[pmType] = ranker
+}
+
+// Get returns the ranker for a PM type name.
+func (r *Registry) Get(pmType string) (Ranker, bool) {
+	ranker, ok := r.rankers[pmType]
+	return ranker, ok
+}
+
+// Len returns the number of registered PM types.
+func (r *Registry) Len() int { return len(r.rankers) }

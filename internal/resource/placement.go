@@ -1,0 +1,218 @@
+package resource
+
+import "sort"
+
+// DimUnits records that Units resource units were placed on dimension
+// Dim (a global dimension index of the shape).
+type DimUnits struct {
+	Dim   int
+	Units int
+}
+
+// Assignment is a concrete, anti-collocation-respecting placement of a
+// VM onto a PM: for every demanded unit, which dimension received it.
+// All dims within the portion belonging to one demand are distinct.
+type Assignment []DimUnits
+
+// Vec expands the assignment into a demand vector for the shape.
+func (a Assignment) Vec(s *Shape) Vec {
+	v := s.Zero()
+	for _, du := range a {
+		v[du.Dim] += du.Units
+	}
+	return v
+}
+
+// Placement is one distinct way of adding a VM to a profile: the
+// concrete assignment, the resulting (non-canonical) profile, and the
+// canonical key of the result for rank-table lookups. Placements with
+// equal keys are interchangeable; the enumeration returns one
+// representative per key.
+type Placement struct {
+	Assign Assignment
+	Result Vec
+	Key    string
+}
+
+// Placements enumerates the distinct canonical outcomes of placing vm
+// onto profile p under shape s, honoring anti-collocation (each unit of
+// a demand on a distinct dimension of its group) and capacity.
+// It returns nil when the VM does not fit.
+func Placements(s *Shape, p Vec, vm VMType) []Placement {
+	var (
+		results []Placement
+		seen    = make(map[string]bool)
+		assign  Assignment
+		work    = p.Clone()
+	)
+
+	var recurse func(demandIdx int)
+	recurse = func(demandIdx int) {
+		if demandIdx == len(vm.Demands) {
+			key := s.Key(work)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			a := make(Assignment, len(assign))
+			copy(a, assign)
+			results = append(results, Placement{
+				Assign: a,
+				Result: work.Clone(),
+				Key:    key,
+			})
+			return
+		}
+		d := vm.Demands[demandIdx]
+		gi := s.GroupIndex(d.Group)
+		if gi < 0 {
+			return
+		}
+		lo, hi := s.GroupRange(gi)
+		capUnits := s.Group(gi).Cap
+		used := make([]bool, hi-lo)
+
+		// Place each unit of the demand on a distinct dimension of the
+		// group. Units are sorted descending (NewVMType); identical
+		// consecutive units are forced onto increasing dimension
+		// indices to avoid enumerating symmetric duplicates.
+		var placeUnit func(unitIdx, minDim int)
+		placeUnit = func(unitIdx, minDim int) {
+			if unitIdx == len(d.Units) {
+				recurse(demandIdx + 1)
+				return
+			}
+			u := d.Units[unitIdx]
+			start := lo
+			if unitIdx > 0 && d.Units[unitIdx-1] == u {
+				start = minDim
+			}
+			for dim := start; dim < hi; dim++ {
+				if used[dim-lo] || work[dim]+u > capUnits {
+					continue
+				}
+				used[dim-lo] = true
+				work[dim] += u
+				assign = append(assign, DimUnits{Dim: dim, Units: u})
+				placeUnit(unitIdx+1, dim+1)
+				assign = assign[:len(assign)-1]
+				work[dim] -= u
+				used[dim-lo] = false
+			}
+		}
+		placeUnit(0, lo)
+	}
+	recurse(0)
+	return results
+}
+
+// Fits reports whether vm can be placed onto profile p at all. It runs
+// the cheap greedy check per group: sort per-unit demands descending
+// and match them against the group's dimensions sorted by descending
+// headroom; by an exchange argument this succeeds iff any
+// anti-collocating assignment exists.
+func Fits(s *Shape, p Vec, vm VMType) bool {
+	for _, d := range vm.Demands {
+		gi := s.GroupIndex(d.Group)
+		if gi < 0 {
+			return false
+		}
+		lo, hi := s.GroupRange(gi)
+		capUnits := s.Group(gi).Cap
+		if len(d.Units) > hi-lo {
+			return false
+		}
+		headroom := make([]int, 0, hi-lo)
+		for dim := lo; dim < hi; dim++ {
+			headroom = append(headroom, capUnits-p[dim])
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(headroom)))
+		for i, u := range d.Units { // units already sorted descending
+			if headroom[i] < u {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// GreedyAssign returns one feasible assignment of vm onto p, choosing
+// for every demand the dimensions with the most headroom (spreading
+// load). Returns nil when the VM does not fit. First-fit style
+// algorithms use this; PageRankVM picks among Placements instead.
+func GreedyAssign(s *Shape, p Vec, vm VMType) Assignment {
+	if !Fits(s, p, vm) {
+		return nil
+	}
+	var assign Assignment
+	work := p.Clone()
+	for _, d := range vm.Demands {
+		gi := s.GroupIndex(d.Group)
+		lo, hi := s.GroupRange(gi)
+		capUnits := s.Group(gi).Cap
+
+		type dimHead struct{ dim, head int }
+		dims := make([]dimHead, 0, hi-lo)
+		for dim := lo; dim < hi; dim++ {
+			dims = append(dims, dimHead{dim: dim, head: capUnits - work[dim]})
+		}
+		sort.Slice(dims, func(i, j int) bool {
+			if dims[i].head != dims[j].head {
+				return dims[i].head > dims[j].head
+			}
+			return dims[i].dim < dims[j].dim
+		})
+		for i, u := range d.Units {
+			if dims[i].head < u {
+				return nil // should not happen after Fits
+			}
+			work[dims[i].dim] += u
+			assign = append(assign, DimUnits{Dim: dims[i].dim, Units: u})
+		}
+	}
+	return assign
+}
+
+// PackAssign returns one feasible assignment of vm onto p that packs:
+// for every demand it chooses the feasible dimensions with the *least*
+// headroom (tightest fit first). Returns nil when the VM does not fit.
+func PackAssign(s *Shape, p Vec, vm VMType) Assignment {
+	var assign Assignment
+	work := p.Clone()
+	for _, d := range vm.Demands {
+		gi := s.GroupIndex(d.Group)
+		if gi < 0 {
+			return nil
+		}
+		lo, hi := s.GroupRange(gi)
+		capUnits := s.Group(gi).Cap
+
+		type dimHead struct{ dim, head int }
+		dims := make([]dimHead, 0, hi-lo)
+		for dim := lo; dim < hi; dim++ {
+			dims = append(dims, dimHead{dim: dim, head: capUnits - work[dim]})
+		}
+		sort.Slice(dims, func(i, j int) bool {
+			if dims[i].head != dims[j].head {
+				return dims[i].head < dims[j].head
+			}
+			return dims[i].dim < dims[j].dim
+		})
+		for _, u := range d.Units {
+			placed := false
+			for i := range dims {
+				if dims[i].head >= u {
+					work[dims[i].dim] += u
+					assign = append(assign, DimUnits{Dim: dims[i].dim, Units: u})
+					dims[i].head = -1 // consumed for this demand
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil
+			}
+		}
+	}
+	return assign
+}

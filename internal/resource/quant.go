@@ -1,0 +1,22 @@
+package resource
+
+import "math"
+
+// Quantize converts a demanded physical amount into integer units,
+// rounding up: a demand must be fully covered. A non-positive quantum
+// or amount yields 0.
+func Quantize(amount, quantum float64) int {
+	if amount <= 0 || quantum <= 0 {
+		return 0
+	}
+	return int(math.Ceil(amount/quantum - 1e-9))
+}
+
+// QuantizeCap converts a capacity physical amount into integer units,
+// rounding down: a capacity must never be overstated.
+func QuantizeCap(amount, quantum float64) int {
+	if amount <= 0 || quantum <= 0 {
+		return 0
+	}
+	return int(math.Floor(amount/quantum + 1e-9))
+}

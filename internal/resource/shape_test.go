@@ -1,0 +1,213 @@
+package resource
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testShape(t *testing.T) *Shape {
+	t.Helper()
+	s, err := NewShape(
+		Group{Name: "cpu", Dims: 4, Cap: 4},
+		Group{Name: "mem", Dims: 1, Cap: 8},
+		Group{Name: "disk", Dims: 2, Cap: 6},
+	)
+	if err != nil {
+		t.Fatalf("NewShape: %v", err)
+	}
+	return s
+}
+
+func TestNewShapeValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		groups []Group
+	}{
+		{name: "empty", groups: nil},
+		{name: "empty name", groups: []Group{{Name: "", Dims: 1, Cap: 1}}},
+		{name: "duplicate name", groups: []Group{{Name: "a", Dims: 1, Cap: 1}, {Name: "a", Dims: 1, Cap: 1}}},
+		{name: "zero dims", groups: []Group{{Name: "a", Dims: 0, Cap: 1}}},
+		{name: "zero cap", groups: []Group{{Name: "a", Dims: 1, Cap: 0}}},
+		{name: "cap too large", groups: []Group{{Name: "a", Dims: 1, Cap: 256}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewShape(tt.groups...); err == nil {
+				t.Error("NewShape accepted invalid groups")
+			}
+		})
+	}
+}
+
+func TestShapeLayout(t *testing.T) {
+	s := testShape(t)
+	if s.NumDims() != 7 {
+		t.Fatalf("NumDims = %d, want 7", s.NumDims())
+	}
+	if s.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d, want 3", s.NumGroups())
+	}
+	lo, hi := s.GroupRange(0)
+	if lo != 0 || hi != 4 {
+		t.Errorf("cpu range = [%d,%d)", lo, hi)
+	}
+	lo, hi = s.GroupRange(2)
+	if lo != 5 || hi != 7 {
+		t.Errorf("disk range = [%d,%d)", lo, hi)
+	}
+	if got := s.GroupIndex("mem"); got != 1 {
+		t.Errorf("GroupIndex(mem) = %d", got)
+	}
+	if got := s.GroupIndex("gpu"); got != -1 {
+		t.Errorf("GroupIndex(gpu) = %d", got)
+	}
+	if got := s.TotalCapacity(); got != 4*4+8+2*6 {
+		t.Errorf("TotalCapacity = %d", got)
+	}
+	want := Vec{4, 4, 4, 4, 8, 6, 6}
+	if !s.Capacity().Equal(want) {
+		t.Errorf("Capacity = %v, want %v", s.Capacity(), want)
+	}
+}
+
+func TestShapeValid(t *testing.T) {
+	s := testShape(t)
+	tests := []struct {
+		name string
+		give Vec
+		want bool
+	}{
+		{name: "zero", give: s.Zero(), want: true},
+		{name: "full", give: s.Capacity(), want: true},
+		{name: "wrong length", give: Vec{0, 0}, want: false},
+		{name: "negative", give: Vec{-1, 0, 0, 0, 0, 0, 0}, want: false},
+		{name: "over capacity", give: Vec{5, 0, 0, 0, 0, 0, 0}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.Valid(tt.give); got != tt.want {
+				t.Errorf("Valid(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestShapeCanon(t *testing.T) {
+	s := testShape(t)
+	v := Vec{3, 1, 2, 0, 5, 6, 2}
+	c := s.Canon(v)
+	want := Vec{0, 1, 2, 3, 5, 2, 6}
+	if !c.Equal(want) {
+		t.Fatalf("Canon(%v) = %v, want %v", v, c, want)
+	}
+	// Original untouched.
+	if !v.Equal(Vec{3, 1, 2, 0, 5, 6, 2}) {
+		t.Fatalf("Canon mutated input: %v", v)
+	}
+	// Idempotent.
+	if !s.Canon(c).Equal(c) {
+		t.Fatalf("Canon not idempotent")
+	}
+}
+
+// Property: canonicalization is invariant under within-group shuffles.
+func TestShapeCanonPermutationInvariant(t *testing.T) {
+	s := testShape(t)
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := make(Vec, s.NumDims())
+		for i, g := range []int{0, 0, 0, 0, 1, 2, 2} {
+			v[i] = r.Intn(s.Group(g).Cap + 1)
+		}
+		shuffled := v.Clone()
+		for gi := 0; gi < s.NumGroups(); gi++ {
+			lo, hi := s.GroupRange(gi)
+			r.Shuffle(hi-lo, func(i, j int) {
+				shuffled[lo+i], shuffled[lo+j] = shuffled[lo+j], shuffled[lo+i]
+			})
+		}
+		return s.Key(v) == s.Key(shuffled)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShapeKeyDistinguishes(t *testing.T) {
+	s := testShape(t)
+	a := Vec{1, 1, 1, 1, 0, 0, 0}
+	b := Vec{1, 1, 1, 1, 1, 0, 0}
+	if s.Key(a) == s.Key(b) {
+		t.Fatal("distinct profiles share a key")
+	}
+}
+
+func TestShapeUtil(t *testing.T) {
+	s := testShape(t)
+	if got := s.Util(s.Zero()); got != 0 {
+		t.Errorf("Util(zero) = %v", got)
+	}
+	if got := s.Util(s.Capacity()); got != 1 {
+		t.Errorf("Util(full) = %v", got)
+	}
+	half := Vec{2, 2, 2, 2, 4, 3, 3}
+	if got := s.Util(half); got != 0.5 {
+		t.Errorf("Util(half) = %v", got)
+	}
+	if got := s.GroupUtil(half, 0); got != 0.5 {
+		t.Errorf("GroupUtil(cpu) = %v", got)
+	}
+}
+
+func TestShapeIsBest(t *testing.T) {
+	s := testShape(t)
+	if !s.IsBest(s.Capacity()) {
+		t.Error("full profile not best")
+	}
+	almost := s.Capacity()
+	almost[3]--
+	if s.IsBest(almost) {
+		t.Error("non-full profile reported best")
+	}
+}
+
+func TestShapeSubShapeProject(t *testing.T) {
+	s := testShape(t)
+	sub := s.SubShape(2)
+	if sub.NumDims() != 2 || sub.Group(0).Name != "disk" {
+		t.Fatalf("SubShape(2) = %+v", sub.Group(0))
+	}
+	v := Vec{1, 2, 3, 4, 5, 6, 2}
+	p := s.Project(v, 2)
+	if !p.Equal(Vec{6, 2}) {
+		t.Fatalf("Project = %v", p)
+	}
+	p[0] = 0
+	if v[5] != 6 {
+		t.Fatal("Project aliases the source")
+	}
+}
+
+func TestShapeNumProfiles(t *testing.T) {
+	// Single group, 4 dims cap 4: C(8,4) = 70 canonical profiles.
+	s := MustShape(Group{Name: "cpu", Dims: 4, Cap: 4})
+	if got := s.NumProfiles(); got != 70 {
+		t.Fatalf("NumProfiles = %d, want 70", got)
+	}
+	// Two dims cap 1 each: C(3,1) = 3 (00, 01, 11).
+	s2 := MustShape(Group{Name: "a", Dims: 2, Cap: 1})
+	if got := s2.NumProfiles(); got != 3 {
+		t.Fatalf("NumProfiles = %d, want 3", got)
+	}
+}
+
+func TestMustShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustShape with invalid group did not panic")
+		}
+	}()
+	MustShape(Group{Name: "", Dims: 0, Cap: 0})
+}

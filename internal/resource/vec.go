@@ -1,0 +1,111 @@
+// Package resource defines the multi-dimensional resource model used
+// throughout the PageRankVM library: integer-unit vectors, dimension
+// groups with symmetry (CPU cores, physical disks), PM shapes, VM type
+// demands with anti-collocation semantics, and the enumeration of
+// feasible placements of a VM onto a PM profile.
+//
+// All quantities are integer "units" produced by quantizing physical
+// amounts (GHz, GiB, GB); see Quantize and QuantizeCap.
+package resource
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Vec is a resource vector: one integer amount of used (or demanded)
+// units per dimension. The dimension layout is given by a Shape.
+type Vec []int
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Sum returns the total units across all dimensions.
+func (v Vec) Sum() int {
+	total := 0
+	for _, x := range v {
+		total += x
+	}
+	return total
+}
+
+// Add returns v + w as a new vector. It panics if lengths differ, since
+// that is always a programming error (vectors from different shapes).
+func (v Vec) Add(w Vec) Vec {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("resource: Add length mismatch %d != %d", len(v), len(w)))
+	}
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w as a new vector. It panics if lengths differ.
+func (v Vec) Sub(w Vec) Vec {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("resource: Sub length mismatch %d != %d", len(v), len(w)))
+	}
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// LE reports whether v <= w componentwise.
+func (v Vec) LE(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] > w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and w are identical.
+func (v Vec) Equal(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether every dimension is zero.
+func (v Vec) IsZero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector in the paper's profile notation, e.g.
+// "[4,3,3,3]".
+func (v Vec) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(x))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}

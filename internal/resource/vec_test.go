@@ -1,0 +1,116 @@
+package resource
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVecClone(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := v.Clone()
+	w[0] = 9
+	if v[0] != 1 {
+		t.Fatalf("Clone aliases underlying array: v=%v", v)
+	}
+	if !v.Equal(Vec{1, 2, 3}) {
+		t.Fatalf("original mutated: %v", v)
+	}
+}
+
+func TestVecSum(t *testing.T) {
+	tests := []struct {
+		give Vec
+		want int
+	}{
+		{give: Vec{}, want: 0},
+		{give: Vec{4}, want: 4},
+		{give: Vec{1, 2, 3, 4}, want: 10},
+		{give: Vec{0, 0, 0}, want: 0},
+	}
+	for _, tt := range tests {
+		if got := tt.give.Sum(); got != tt.want {
+			t.Errorf("%v.Sum() = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestVecAddSub(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{3, 2, 1}
+	sum := v.Add(w)
+	if !sum.Equal(Vec{4, 4, 4}) {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff := sum.Sub(w)
+	if !diff.Equal(v) {
+		t.Fatalf("Sub = %v, want %v", diff, v)
+	}
+}
+
+func TestVecAddLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with mismatched lengths did not panic")
+		}
+	}()
+	Vec{1}.Add(Vec{1, 2})
+}
+
+func TestVecLE(t *testing.T) {
+	tests := []struct {
+		name string
+		v, w Vec
+		want bool
+	}{
+		{name: "equal", v: Vec{1, 2}, w: Vec{1, 2}, want: true},
+		{name: "less", v: Vec{0, 2}, w: Vec{1, 2}, want: true},
+		{name: "greater", v: Vec{2, 2}, w: Vec{1, 2}, want: false},
+		{name: "incomparable", v: Vec{0, 3}, w: Vec{1, 2}, want: false},
+		{name: "length mismatch", v: Vec{1}, w: Vec{1, 2}, want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.LE(tt.w); got != tt.want {
+				t.Errorf("LE(%v,%v) = %v, want %v", tt.v, tt.w, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if got := (Vec{4, 3, 3, 3}).String(); got != "[4,3,3,3]" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Vec{}).String(); got != "[]" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestVecIsZero(t *testing.T) {
+	if !(Vec{0, 0}).IsZero() {
+		t.Error("zero vector reported non-zero")
+	}
+	if (Vec{0, 1}).IsZero() {
+		t.Error("non-zero vector reported zero")
+	}
+}
+
+// Property: Add then Sub round-trips.
+func TestVecAddSubRoundTrip(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		v := make(Vec, n)
+		w := make(Vec, n)
+		for i := 0; i < n; i++ {
+			v[i], w[i] = int(a[i]), int(b[i])
+		}
+		return v.Add(w).Sub(w).Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package resource
+
+import "testing"
+
+func TestNewVMTypeSortsUnitsAndGroups(t *testing.T) {
+	vt := NewVMType("x",
+		Demand{Group: "mem", Units: []int{2}},
+		Demand{Group: "cpu", Units: []int{1, 3, 2}},
+	)
+	if vt.Demands[0].Group != "cpu" || vt.Demands[1].Group != "mem" {
+		t.Fatalf("demands not sorted by group: %v", vt)
+	}
+	got := vt.Demands[0].Units
+	if got[0] != 3 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("units not sorted descending: %v", got)
+	}
+}
+
+func TestNewVMTypeDropsEmptyDemands(t *testing.T) {
+	vt := NewVMType("x", Demand{Group: "cpu"}, Demand{Group: "mem", Units: []int{1}})
+	if len(vt.Demands) != 1 || vt.Demands[0].Group != "mem" {
+		t.Fatalf("empty demand not dropped: %v", vt)
+	}
+}
+
+func TestNewVMTypeCopiesUnits(t *testing.T) {
+	units := []int{1, 2}
+	vt := NewVMType("x", Demand{Group: "cpu", Units: units})
+	units[0] = 99
+	if vt.Demands[0].Units[0] == 99 || vt.Demands[0].Units[1] == 99 {
+		t.Fatal("NewVMType aliases caller's units slice")
+	}
+}
+
+func TestVMTypeValidate(t *testing.T) {
+	s := MustShape(
+		Group{Name: "cpu", Dims: 4, Cap: 4},
+		Group{Name: "mem", Dims: 1, Cap: 8},
+	)
+	tests := []struct {
+		name    string
+		give    VMType
+		wantErr bool
+	}{
+		{
+			name: "valid",
+			give: NewVMType("ok", Demand{Group: "cpu", Units: []int{1, 1}}, Demand{Group: "mem", Units: []int{4}}),
+		},
+		{
+			name:    "unknown group",
+			give:    NewVMType("bad", Demand{Group: "gpu", Units: []int{1}}),
+			wantErr: true,
+		},
+		{
+			name:    "too many anti-collocated units",
+			give:    NewVMType("bad", Demand{Group: "cpu", Units: []int{1, 1, 1, 1, 1}}),
+			wantErr: true,
+		},
+		{
+			name:    "unit exceeds dim capacity",
+			give:    NewVMType("bad", Demand{Group: "cpu", Units: []int{5}}),
+			wantErr: true,
+		},
+		{
+			name:    "non-positive unit",
+			give:    VMType{Name: "bad", Demands: []Demand{{Group: "cpu", Units: []int{0}}}},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate(s)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestVMTypeAccessors(t *testing.T) {
+	vt := NewVMType("m3.large",
+		Demand{Group: "cpu", Units: []int{1, 1}},
+		Demand{Group: "mem", Units: []int{2}},
+	)
+	if got := vt.TotalUnits(); got != 4 {
+		t.Errorf("TotalUnits = %d", got)
+	}
+	d, ok := vt.DemandFor("cpu")
+	if !ok || len(d.Units) != 2 {
+		t.Errorf("DemandFor(cpu) = %v, %v", d, ok)
+	}
+	if _, ok := vt.DemandFor("disk"); ok {
+		t.Error("DemandFor(disk) unexpectedly found")
+	}
+	proj, ok := vt.Project("mem")
+	if !ok || len(proj.Demands) != 1 || proj.Demands[0].Group != "mem" {
+		t.Errorf("Project(mem) = %v, %v", proj, ok)
+	}
+	if _, ok := vt.Project("disk"); ok {
+		t.Error("Project(disk) unexpectedly found")
+	}
+	want := "m3.large{cpu:[1,1] mem:[2]}"
+	if got := vt.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

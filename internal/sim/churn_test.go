@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"testing"
+
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/trace"
+)
+
+func TestChurnArrivalAndDeparture(t *testing.T) {
+	c := newCluster(1)
+	const steps = 6
+	gen := trace.Constant{Level: 0.3}
+	workloads := []Workload{
+		{VM: newVM(0, "[1,1]"), Trace: gen.Series(0, steps)},                   // whole horizon
+		{VM: newVM(1, "[1,1]"), Trace: gen.Series(1, steps), Start: 2, End: 4}, // mid lease
+		{VM: newVM(2, "[1,1,1,1]"), Trace: gen.Series(2, steps), Start: 3},     // arrives, stays
+		{VM: newVM(3, "[1,1]"), Trace: gen.Series(3, steps), Start: 1},         // arrives, stays
+	}
+	s, err := New(shortCfg(steps), c, placement.FirstFit{}, placement.MMTEvictor{}, models(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("rejected = %d", res.Rejected)
+	}
+	// VM 1 departed; VMs 0, 2, 3 remain.
+	if c.NumVMs() != 3 {
+		t.Fatalf("NumVMs = %d, want 3", c.NumVMs())
+	}
+	if _, placed := c.Locate(1); placed {
+		t.Fatal("vm 1 still placed after its lease")
+	}
+	for _, id := range []int{0, 2, 3} {
+		if _, placed := c.Locate(id); !placed {
+			t.Fatalf("vm %d missing", id)
+		}
+	}
+}
+
+func TestChurnArrivalRejectedWhenFull(t *testing.T) {
+	c := newCluster(1)
+	const steps = 4
+	gen := trace.Constant{Level: 0.2}
+	var workloads []Workload
+	for i := 0; i < 4; i++ {
+		workloads = append(workloads, Workload{VM: newVM(i, "[1,1,1,1]"), Trace: gen.Series(i, steps)})
+	}
+	// A late arrival finds no room.
+	workloads = append(workloads, Workload{VM: newVM(9, "[1,1]"), Trace: gen.Series(9, steps), Start: 2})
+	s, err := New(shortCfg(steps), c, placement.FirstFit{}, placement.MMTEvictor{}, models(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", res.Rejected)
+	}
+}
+
+func TestChurnFreesCapacityForLaterArrivals(t *testing.T) {
+	c := newCluster(1)
+	const steps = 6
+	gen := trace.Constant{Level: 0.2}
+	workloads := []Workload{
+		// Fill the PM until step 2.
+		{VM: newVM(0, "[1,1,1,1]"), Trace: gen.Series(0, steps), End: 2},
+		{VM: newVM(1, "[1,1,1,1]"), Trace: gen.Series(1, steps), End: 2},
+		{VM: newVM(2, "[1,1,1,1]"), Trace: gen.Series(2, steps), End: 2},
+		{VM: newVM(3, "[1,1,1,1]"), Trace: gen.Series(3, steps), End: 2},
+		// Arrives after the departures: must fit.
+		{VM: newVM(4, "[1,1,1,1]"), Trace: gen.Series(4, steps), Start: 3},
+	}
+	s, err := New(shortCfg(steps), c, placement.FirstFit{}, placement.MMTEvictor{}, models(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("Rejected = %d, want 0", res.Rejected)
+	}
+	if c.NumVMs() != 1 {
+		t.Fatalf("NumVMs = %d, want 1", c.NumVMs())
+	}
+}
+
+func TestChurnInvalidLeaseRejected(t *testing.T) {
+	c := newCluster(1)
+	bad := []Workload{{VM: newVM(0, "[1,1]"), Start: 3, End: 2}}
+	if _, err := New(shortCfg(4), c, placement.FirstFit{}, placement.MMTEvictor{}, models(), bad); err == nil {
+		t.Fatal("accepted End <= Start")
+	}
+	bad = []Workload{{VM: newVM(0, "[1,1]"), Start: -1}}
+	if _, err := New(shortCfg(4), c, placement.FirstFit{}, placement.MMTEvictor{}, models(), bad); err == nil {
+		t.Fatal("accepted negative Start")
+	}
+}
+
+// An emptied PM stops consuming energy: the meter only accumulates for
+// active PM-intervals.
+func TestChurnEnergyStopsAfterDeparture(t *testing.T) {
+	c := newCluster(1)
+	const steps = 4
+	gen := trace.Constant{Level: 0.0}
+	workloads := []Workload{
+		{VM: newVM(0, "[1,1]"), Trace: gen.Series(0, steps), End: 2},
+	}
+	s, err := New(shortCfg(steps), c, placement.FirstFit{}, placement.MMTEvictor{}, models(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Active for 2 intervals at idle power 337.3 W x 300 s each.
+	wantKWh := 2 * 337.3 * 300 / 3.6e6
+	if diff := res.EnergyKWh - wantKWh; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("EnergyKWh = %v, want %v", res.EnergyKWh, wantKWh)
+	}
+	if res.ActivePMSteps != 2 {
+		t.Fatalf("ActivePMSteps = %d, want 2", res.ActivePMSteps)
+	}
+}
+
+func TestUnderloadConsolidation(t *testing.T) {
+	// Two PMs each hosting one small VM at low utilization: with
+	// consolidation enabled, one PM is evacuated into the other.
+	c := newCluster(2)
+	const steps = 4
+	gen := trace.Constant{Level: 0.1}
+	workloads := []Workload{
+		{VM: newVM(0, "[1,1]"), Trace: gen.Series(0, steps)},
+		{VM: newVM(1, "[1,1,1,1]"), Trace: gen.Series(1, steps)},
+	}
+	// Force the two VMs onto different PMs: place the second with a
+	// Start so the first fills PM0... FirstFit would co-locate them, so
+	// pre-place by hand instead.
+	cfg := shortCfg(steps)
+	cfg.UnderloadThreshold = 0.5
+	s, err := New(cfg, c, placement.FirstFit{}, placement.MMTEvictor{}, models(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-placement via the simulation's own initial allocation puts
+	// both VMs on PM0 (they fit); move VM1 to PM1 manually afterwards
+	// is not possible pre-Run, so instead just verify the co-located
+	// case consolidates nothing and stays stable.
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consolidations != 0 {
+		t.Fatalf("consolidated a single active PM: %+v", res)
+	}
+	if c.NumUsed() != 1 {
+		t.Fatalf("used = %d", c.NumUsed())
+	}
+}
+
+func TestUnderloadConsolidationEvacuates(t *testing.T) {
+	// Start VM1 on its own PM by arrival timing: VM0 fills PM0's first
+	// two dims; VM1 arrives later as [1,1,1,1] and also fits PM0 — so
+	// instead make VM0 a [1,1,1,1] occupying all dims at cap... use a
+	// full PM0 at t=0 that drains at t=2, leaving two low-load PMs.
+	c := newCluster(2)
+	const steps = 8
+	gen := trace.Constant{Level: 0.1}
+	var workloads []Workload
+	// Four wide VMs fill PM0 completely; three depart at step 2.
+	for i := 0; i < 4; i++ {
+		w := Workload{VM: newVM(i, "[1,1,1,1]"), Trace: gen.Series(i, steps)}
+		if i > 0 {
+			w.End = 2
+		}
+		workloads = append(workloads, w)
+	}
+	// A fifth wide VM arrives at step 1 while PM0 is full: opens PM1.
+	workloads = append(workloads, Workload{VM: newVM(4, "[1,1,1,1]"), Trace: gen.Series(4, steps), Start: 1})
+
+	cfg := shortCfg(steps)
+	cfg.UnderloadThreshold = 0.5
+	s, err := New(cfg, c, placement.FirstFit{}, placement.MMTEvictor{}, models(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the step-2 departures, PM0 and PM1 each hold one idle wide
+	// VM; consolidation folds them onto one PM.
+	if res.Consolidations == 0 {
+		t.Fatalf("no consolidation: %+v", res)
+	}
+	if c.NumUsed() != 1 {
+		t.Fatalf("used = %d PMs at the end, want 1", c.NumUsed())
+	}
+	if c.NumVMs() != 2 {
+		t.Fatalf("NumVMs = %d, want 2", c.NumVMs())
+	}
+}
+
+func TestObserverSeesEveryStep(t *testing.T) {
+	c := newCluster(2)
+	const steps = 5
+	var snaps []StepStats
+	cfg := shortCfg(steps)
+	cfg.Observer = func(s StepStats) { snaps = append(snaps, s) }
+	workloads := constWorkloads(4, "[1,1,1,1]", 1.0, steps)
+	s, err := New(cfg, c, placement.FirstFit{}, placement.MMTEvictor{}, models(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != steps {
+		t.Fatalf("observer saw %d steps, want %d", len(snaps), steps)
+	}
+	totalMigr := 0
+	for i, snap := range snaps {
+		if snap.Step != i {
+			t.Fatalf("snap %d has Step %d", i, snap.Step)
+		}
+		if snap.MeanCPUUtil < 0 || snap.MeanCPUUtil > 1 {
+			t.Fatalf("MeanCPUUtil = %v", snap.MeanCPUUtil)
+		}
+		totalMigr += snap.Migrations
+	}
+	if totalMigr != res.Migrations {
+		t.Fatalf("observer migrations %d != result %d", totalMigr, res.Migrations)
+	}
+	// Hot full PM: the first step must report an overload.
+	if snaps[0].OverloadedPMs == 0 || snaps[0].ViolatedPMs == 0 {
+		t.Fatalf("first step stats: %+v", snaps[0])
+	}
+	if snaps[steps-1].PlacedVMs != 4 {
+		t.Fatalf("PlacedVMs = %d", snaps[steps-1].PlacedVMs)
+	}
+}

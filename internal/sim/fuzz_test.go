@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+	"pagerankvm/internal/trace"
+)
+
+// Randomized end-to-end runs: every placer, random churned workloads,
+// hot traces. Whatever happens, the core invariants must hold: no PM
+// ever over its requested capacity, every placed VM on exactly one PM,
+// no VM lost or duplicated by migrations, all counters non-negative
+// and consistent.
+func TestSimulationInvariantsFuzz(t *testing.T) {
+	table, err := ranktable.NewJoint(smallShape(), []resource.VMType{
+		smallVMType("[1,1]"), smallVMType("[1,1,1,1]"),
+	}, ranktable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ranktable.NewRegistry()
+	reg.Add(pmSmall, table)
+
+	type stack struct {
+		placer  placement.Placer
+		evictor placement.Evictor
+	}
+	prvm := placement.NewPageRankVM(reg, placement.WithSeed(2))
+	stacks := []stack{
+		{placer: prvm, evictor: placement.RankEvictor{Placer: prvm}},
+		{placer: placement.FirstFit{}, evictor: placement.MMTEvictor{}},
+		{placer: placement.FFDSum{}, evictor: placement.MMTEvictor{}},
+		{placer: placement.CompVM{}, evictor: placement.MMTEvictor{}},
+		{placer: placement.BestFit{}, evictor: placement.MMTEvictor{}},
+	}
+
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const steps = 48
+		numVMs := 10 + rng.Intn(30)
+		gen := trace.Google{Seed: seed, Mean: 0.6}
+
+		var workloads []Workload
+		expectForever := 0
+		for i := 0; i < numVMs; i++ {
+			name := "[1,1]"
+			if rng.Intn(2) == 0 {
+				name = "[1,1,1,1]"
+			}
+			w := Workload{VM: newVM(i, name), Trace: gen.Series(i, steps)}
+			if rng.Intn(2) == 0 {
+				w.Start = rng.Intn(steps - 1)
+				if rng.Intn(2) == 0 {
+					w.End = w.Start + 1 + rng.Intn(steps-w.Start)
+					if w.End >= steps {
+						w.End = 0
+					}
+				}
+			}
+			if w.End == 0 {
+				expectForever++
+			}
+			workloads = append(workloads, w)
+		}
+
+		for _, st := range stacks {
+			c := newCluster(8)
+			s, err := New(shortCfg(steps), c, st.placer, st.evictor, models(), workloads)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, st.placer.Name(), err)
+			}
+			res, err := s.Run()
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, st.placer.Name(), err)
+			}
+
+			// Capacity invariant.
+			caps := smallShape().Capacity()
+			placed := 0
+			for _, pm := range c.PMs() {
+				if !pm.Used().LE(caps) {
+					t.Fatalf("seed %d %s: pm %d over capacity %v", seed, st.placer.Name(), pm.ID, pm.Used())
+				}
+				placed += pm.NumVMs()
+			}
+			// Conservation: everyone who should still be running is,
+			// except rejected arrivals.
+			if placed != c.NumVMs() {
+				t.Fatalf("seed %d %s: pm-level count %d != cluster count %d",
+					seed, st.placer.Name(), placed, c.NumVMs())
+			}
+			if c.NumVMs()+res.Rejected < expectForever {
+				t.Fatalf("seed %d %s: lost VMs: %d placed + %d rejected < %d forever",
+					seed, st.placer.Name(), c.NumVMs(), res.Rejected, expectForever)
+			}
+			// Counter sanity.
+			if res.Migrations < 0 || res.ViolatedPMSteps > res.ActivePMSteps {
+				t.Fatalf("seed %d %s: inconsistent counters %+v", seed, st.placer.Name(), res)
+			}
+			if res.SLOViolationPct < 0 || res.SLOViolationPct > 100 {
+				t.Fatalf("seed %d %s: SLO%% = %v", seed, st.placer.Name(), res.SLOViolationPct)
+			}
+			if res.EnergyKWh < 0 {
+				t.Fatalf("seed %d %s: negative energy", seed, st.placer.Name())
+			}
+			// Every placed VM locatable on exactly the PM that hosts it.
+			for _, pm := range c.PMs() {
+				for id := range pm.VMs() {
+					loc, ok := c.Locate(id)
+					if !ok || loc != pm {
+						t.Fatalf("seed %d %s: vm %d location inconsistent", seed, st.placer.Name(), id)
+					}
+				}
+			}
+		}
+	}
+}

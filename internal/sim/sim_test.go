@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"pagerankvm/internal/energy"
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+	"pagerankvm/internal/trace"
+)
+
+const pmSmall = "small"
+
+func smallShape() *resource.Shape {
+	return resource.MustShape(resource.Group{Name: "cpu", Dims: 4, Cap: 4})
+}
+
+func smallVMType(name string) resource.VMType {
+	switch name {
+	case "[1,1]":
+		return resource.NewVMType(name, resource.Demand{Group: "cpu", Units: []int{1, 1}})
+	case "[1,1,1,1]":
+		return resource.NewVMType(name, resource.Demand{Group: "cpu", Units: []int{1, 1, 1, 1}})
+	}
+	panic("unknown type " + name)
+}
+
+func newVM(id int, typeName string) *placement.VM {
+	return &placement.VM{
+		ID:   id,
+		Type: typeName,
+		Req:  map[string]resource.VMType{pmSmall: smallVMType(typeName)},
+	}
+}
+
+func newCluster(n int) *placement.Cluster {
+	shape := smallShape()
+	pms := make([]*placement.PM, n)
+	for i := range pms {
+		pms[i] = placement.NewPM(i, pmSmall, shape)
+	}
+	return placement.NewCluster(pms)
+}
+
+func models() map[string]*energy.Model {
+	return map[string]*energy.Model{pmSmall: energy.E52670()}
+}
+
+func constWorkloads(n int, typeName string, level float64, steps int) []Workload {
+	out := make([]Workload, n)
+	gen := trace.Constant{Level: level}
+	for i := range out {
+		out[i] = Workload{VM: newVM(i, typeName), Trace: gen.Series(i, steps)}
+	}
+	return out
+}
+
+func shortCfg(steps int) Config {
+	return Config{
+		Interval: 300 * time.Second,
+		Horizon:  time.Duration(steps) * 300 * time.Second,
+	}
+}
+
+func TestConfigSteps(t *testing.T) {
+	var cfg Config
+	if got := cfg.Steps(); got != 288 {
+		t.Fatalf("default Steps = %d, want 288 (24h / 300s)", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	c := newCluster(1)
+	if _, err := New(Config{}, nil, placement.FirstFit{}, placement.MMTEvictor{}, models(), nil); err == nil {
+		t.Error("accepted nil cluster")
+	}
+	if _, err := New(Config{}, c, placement.FirstFit{}, placement.MMTEvictor{}, nil, nil); err == nil {
+		t.Error("accepted missing power model")
+	}
+	if _, err := New(Config{Interval: time.Hour, Horizon: time.Minute}, c, placement.FirstFit{},
+		placement.MMTEvictor{}, models(), nil); err == nil {
+		t.Error("accepted horizon < interval")
+	}
+	dup := []Workload{
+		{VM: newVM(1, "[1,1]")},
+		{VM: newVM(1, "[1,1]")},
+	}
+	if _, err := New(Config{}, c, placement.FirstFit{}, placement.MMTEvictor{}, models(), dup); err == nil {
+		t.Error("accepted duplicate VM ids")
+	}
+	if _, err := New(Config{}, c, placement.FirstFit{}, placement.MMTEvictor{}, models(),
+		[]Workload{{VM: nil}}); err == nil {
+		t.Error("accepted nil VM")
+	}
+}
+
+func TestRunPlacesAllVMs(t *testing.T) {
+	c := newCluster(3)
+	s, err := New(shortCfg(2), c, placement.FirstFit{}, placement.MMTEvictor{}, models(),
+		constWorkloads(8, "[1,1]", 0.5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("rejected = %d", res.Rejected)
+	}
+	if c.NumVMs() != 8 {
+		t.Fatalf("placed %d VMs", c.NumVMs())
+	}
+	if res.PMsUsed != 1 {
+		t.Fatalf("PMsUsed = %d, want 1 (8 x [1,1] fill one small PM)", res.PMsUsed)
+	}
+}
+
+func TestRunRejectsOverflow(t *testing.T) {
+	c := newCluster(1)
+	// 5 four-wide VMs: only 4 fit.
+	s, err := New(shortCfg(1), c, placement.FirstFit{}, placement.MMTEvictor{}, models(),
+		constWorkloads(5, "[1,1,1,1]", 0.1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", res.Rejected)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	c := newCluster(2)
+	const steps = 12 // one hour
+	s, err := New(shortCfg(steps), c, placement.FirstFit{}, placement.MMTEvictor{}, models(),
+		constWorkloads(8, "[1,1]", 0.5, steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One PM at aggregate utilization 0.5 for one hour:
+	// E5-2670 power at 0.5 = (363.6+378)/2 = 370.8 W -> 0.3708 kWh.
+	want := 370.8 / 1000
+	if math.Abs(res.EnergyKWh-want) > 1e-9 {
+		t.Fatalf("EnergyKWh = %v, want %v", res.EnergyKWh, want)
+	}
+	if res.OverloadEvents != 0 || res.Migrations != 0 {
+		t.Fatalf("unexpected overloads/migrations: %+v", res)
+	}
+}
+
+func TestSLOViolationAccounting(t *testing.T) {
+	// A single PM packed 4/4 on every core, traces at 1.0 and nowhere
+	// to migrate: every interval is a violation and every eviction
+	// fails.
+	c := newCluster(1)
+	const steps = 4
+	s, err := New(shortCfg(steps), c, placement.FirstFit{}, placement.MMTEvictor{}, models(),
+		constWorkloads(4, "[1,1,1,1]", 1.0, steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLOViolationPct != 100 {
+		t.Fatalf("SLOViolationPct = %v, want 100", res.SLOViolationPct)
+	}
+	if res.ActivePMSteps != steps || res.ViolatedPMSteps != steps {
+		t.Fatalf("PM-steps = %d/%d", res.ViolatedPMSteps, res.ActivePMSteps)
+	}
+	if res.FailedMigrations == 0 {
+		t.Fatal("expected failed migrations with nowhere to go")
+	}
+	if c.NumVMs() != 4 {
+		t.Fatalf("VM lost during failed migration: %d left", c.NumVMs())
+	}
+}
+
+func TestOverloadTriggersMigration(t *testing.T) {
+	// PM0 packed 4/4 with hot VMs, PM1 free: exactly one migration
+	// relieves the overload (3 x 1.0 = 3.0 <= 3.6 afterwards).
+	c := newCluster(2)
+	const steps = 3
+	s, err := New(shortCfg(steps), c, placement.FirstFit{}, placement.MMTEvictor{}, models(),
+		constWorkloads(4, "[1,1,1,1]", 1.0, steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 1 {
+		t.Fatalf("Migrations = %d, want 1", res.Migrations)
+	}
+	if res.PMsUsed != 2 {
+		t.Fatalf("PMsUsed = %d, want 2", res.PMsUsed)
+	}
+	if res.FailedMigrations != 0 {
+		t.Fatalf("FailedMigrations = %d", res.FailedMigrations)
+	}
+	// The destination PM hosts the migrated VM.
+	if c.PMs()[1].NumVMs() != 1 {
+		t.Fatalf("destination hosts %d VMs", c.PMs()[1].NumVMs())
+	}
+	// VM conservation.
+	if c.NumVMs() != 4 {
+		t.Fatalf("NumVMs = %d", c.NumVMs())
+	}
+}
+
+func TestNoOverloadBelowThreshold(t *testing.T) {
+	// 4/4 cores at 0.85 utilization: 3.4 < 3.6, no overload, no SLO.
+	c := newCluster(2)
+	s, err := New(shortCfg(3), c, placement.FirstFit{}, placement.MMTEvictor{}, models(),
+		constWorkloads(4, "[1,1,1,1]", 0.85, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 || res.OverloadEvents != 0 || res.ViolatedPMSteps != 0 {
+		t.Fatalf("unexpected events: %+v", res)
+	}
+}
+
+func TestPageRankVMSimulationDeterministic(t *testing.T) {
+	run := func() Result {
+		table, err := ranktable.NewJoint(smallShape(), []resource.VMType{
+			smallVMType("[1,1]"), smallVMType("[1,1,1,1]"),
+		}, ranktable.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := ranktable.NewRegistry()
+		reg.Add(pmSmall, table)
+		placer := placement.NewPageRankVM(reg)
+		evictor := placement.RankEvictor{Placer: placer}
+
+		c := newCluster(4)
+		gen := trace.Google{Seed: 17}
+		const steps = 24
+		var workloads []Workload
+		for i := 0; i < 12; i++ {
+			name := "[1,1]"
+			if i%3 == 0 {
+				name = "[1,1,1,1]"
+			}
+			workloads = append(workloads, Workload{VM: newVM(i, name), Trace: gen.Series(i, steps)})
+		}
+		s, err := New(shortCfg(steps), c, placer, evictor, models(), workloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Invariant: no PM over capacity at the end.
+		for _, pm := range c.PMs() {
+			if !pm.Used().LE(pm.Shape.Capacity()) {
+				t.Fatalf("pm %d over capacity: %v", pm.ID, pm.Used())
+			}
+		}
+		if c.NumVMs() != 12 {
+			t.Fatalf("NumVMs = %d", c.NumVMs())
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic results:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,154 @@
+package testbed
+
+import (
+	"testing"
+
+	"pagerankvm/internal/resource"
+)
+
+// startAgent launches an agent on a pipe and returns the controller
+// end plus a cleanup that shuts the agent down.
+func startAgent(t *testing.T) Conn {
+	t.Helper()
+	ctrl, agentEnd := Pipe()
+	agent := NewAgent(3, PMShape(), agentEnd)
+	agent.Start()
+	t.Cleanup(func() {
+		_ = ctrl.Send(Message{Kind: KindShutdown})
+		_, _ = ctrl.Recv()
+		agent.Wait()
+		_ = ctrl.Close()
+	})
+	return ctrl
+}
+
+func call(t *testing.T, c Conn, m Message) Message {
+	t.Helper()
+	if err := c.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+func TestAgentStartAndStatus(t *testing.T) {
+	ctrl := startAgent(t)
+	reply := call(t, ctrl, Message{Kind: KindStart, Job: &JobSpec{
+		ID:     1,
+		Assign: []resource.DimUnits{{Dim: 0, Units: 1}, {Dim: 1, Units: 1}},
+		Trace:  []float64{0.5, 1.0},
+	}})
+	if reply.Kind != KindOK {
+		t.Fatalf("start reply %v: %s", reply.Kind, reply.Err)
+	}
+	status := call(t, ctrl, Message{Kind: KindTick, Step: 0})
+	if status.Kind != KindStatus {
+		t.Fatalf("tick reply %v", status.Kind)
+	}
+	if got := status.Status.Load[0]; got != 0.5 {
+		t.Fatalf("load[0] = %v", got)
+	}
+	// Trace clamps past the end.
+	status = call(t, ctrl, Message{Kind: KindTick, Step: 99})
+	if got := status.Status.Load[1]; got != 1.0 {
+		t.Fatalf("load[1] = %v", got)
+	}
+	if len(status.Status.Jobs) != 1 || status.Status.Jobs[0] != 1 {
+		t.Fatalf("jobs = %v", status.Status.Jobs)
+	}
+	if status.Status.AgentID != 3 {
+		t.Fatalf("agent id = %d", status.Status.AgentID)
+	}
+}
+
+func TestAgentRejectsAntiCollocationViolation(t *testing.T) {
+	ctrl := startAgent(t)
+	reply := call(t, ctrl, Message{Kind: KindStart, Job: &JobSpec{
+		ID:     1,
+		Assign: []resource.DimUnits{{Dim: 0, Units: 1}, {Dim: 0, Units: 1}},
+	}})
+	if reply.Kind != KindError {
+		t.Fatalf("reply = %v, want error", reply.Kind)
+	}
+}
+
+func TestAgentRejectsOverflow(t *testing.T) {
+	ctrl := startAgent(t)
+	reply := call(t, ctrl, Message{Kind: KindStart, Job: &JobSpec{
+		ID:     1,
+		Assign: []resource.DimUnits{{Dim: 0, Units: 5}},
+	}})
+	if reply.Kind != KindError {
+		t.Fatalf("reply = %v, want error", reply.Kind)
+	}
+	reply = call(t, ctrl, Message{Kind: KindStart, Job: &JobSpec{
+		ID:     2,
+		Assign: []resource.DimUnits{{Dim: 9, Units: 1}},
+	}})
+	if reply.Kind != KindError {
+		t.Fatalf("out-of-range dim accepted")
+	}
+}
+
+func TestAgentRejectsDuplicateJob(t *testing.T) {
+	ctrl := startAgent(t)
+	job := &JobSpec{ID: 1, Assign: []resource.DimUnits{{Dim: 0, Units: 1}}}
+	if reply := call(t, ctrl, Message{Kind: KindStart, Job: job}); reply.Kind != KindOK {
+		t.Fatal(reply.Err)
+	}
+	if reply := call(t, ctrl, Message{Kind: KindStart, Job: job}); reply.Kind != KindError {
+		t.Fatal("duplicate start accepted")
+	}
+	if reply := call(t, ctrl, Message{Kind: KindStart}); reply.Kind != KindError {
+		t.Fatal("nil job accepted")
+	}
+}
+
+func TestAgentKill(t *testing.T) {
+	ctrl := startAgent(t)
+	call(t, ctrl, Message{Kind: KindStart, Job: &JobSpec{
+		ID: 1, Assign: []resource.DimUnits{{Dim: 0, Units: 2}}, Trace: []float64{1},
+	}})
+	if reply := call(t, ctrl, Message{Kind: KindKill, JobID: 1}); reply.Kind != KindOK {
+		t.Fatalf("kill reply: %s", reply.Err)
+	}
+	status := call(t, ctrl, Message{Kind: KindTick})
+	if len(status.Status.Jobs) != 0 || status.Status.Load[0] != 0 {
+		t.Fatalf("job not removed: %+v", status.Status)
+	}
+	if reply := call(t, ctrl, Message{Kind: KindKill, JobID: 1}); reply.Kind != KindError {
+		t.Fatal("killing unknown job succeeded")
+	}
+}
+
+func TestAgentUnknownKind(t *testing.T) {
+	ctrl := startAgent(t)
+	if reply := call(t, ctrl, Message{Kind: MsgKind(42)}); reply.Kind != KindError {
+		t.Fatalf("reply = %v", reply.Kind)
+	}
+}
+
+// After a start is rejected, the agent's capacity must be unchanged —
+// failed validation must not leak partial assignments.
+func TestAgentRejectionLeavesStateClean(t *testing.T) {
+	ctrl := startAgent(t)
+	// Fill dim 0 fully.
+	call(t, ctrl, Message{Kind: KindStart, Job: &JobSpec{
+		ID: 1, Assign: []resource.DimUnits{{Dim: 0, Units: 4}}, Trace: []float64{1},
+	}})
+	// This one overflows dim 0 and must be rejected...
+	reply := call(t, ctrl, Message{Kind: KindStart, Job: &JobSpec{
+		ID: 2, Assign: []resource.DimUnits{{Dim: 1, Units: 1}, {Dim: 0, Units: 1}},
+	}})
+	if reply.Kind != KindError {
+		t.Fatal("overflow accepted")
+	}
+	// ...without having committed the dim-1 part.
+	status := call(t, ctrl, Message{Kind: KindTick})
+	if status.Status.Load[1] != 0 {
+		t.Fatalf("rejected job leaked load: %v", status.Status.Load)
+	}
+}

@@ -1,0 +1,313 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/resource"
+	"pagerankvm/internal/trace"
+)
+
+// Job is one workload unit submitted to the testbed: an emulated VM
+// with a lease window, as in the paper's GENI experiment (jobs run on
+// instances; killing and continuing a job on another instance emulates
+// VM migration).
+type Job struct {
+	VM    *placement.VM
+	Trace trace.Series
+	// Start is the arrival step; End (exclusive) is the departure
+	// step, 0 meaning "runs to the end of the experiment".
+	Start int
+	End   int
+}
+
+// Config parameterizes a testbed run.
+type Config struct {
+	// Steps is the number of control intervals (paper: 4 h at 10 s
+	// per interval = 1440).
+	Steps int
+	// OverloadThreshold mirrors the simulator's 90% per-dimension
+	// rule.
+	OverloadThreshold float64
+	// CPUGroup names the trace-driven group; default "cpu".
+	CPUGroup string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Steps == 0 {
+		c.Steps = 1440
+	}
+	if c.OverloadThreshold == 0 {
+		c.OverloadThreshold = 0.90
+	}
+	if c.CPUGroup == "" {
+		c.CPUGroup = "cpu"
+	}
+	return c
+}
+
+// Result mirrors the metrics of the paper's Figures 4 and 8.
+type Result struct {
+	PMsUsed         int
+	Migrations      int
+	FailedMoves     int
+	Rejected        int
+	SLOViolationPct float64
+	ActivePMSteps   int
+	ViolatedPMSteps int
+	OverloadEvents  int
+}
+
+// Controller is the centralized scheduler of the emulated testbed. It
+// keeps a local mirror of every agent's assignments (a
+// placement.Cluster), drives lock-step rounds, and reacts to the
+// loads the agents report.
+type Controller struct {
+	cfg     Config
+	cluster *placement.Cluster
+	placer  placement.Placer
+	evictor placement.Evictor
+	conns   map[int]Conn // pm id -> conn
+	jobs    []Job
+	traces  map[int]trace.Series
+}
+
+// NewController assembles a controller. The cluster's PMs must match
+// the agents one-to-one by id.
+func NewController(cfg Config, cluster *placement.Cluster, placer placement.Placer,
+	evictor placement.Evictor, conns map[int]Conn, jobs []Job) (*Controller, error) {
+	if cluster == nil || placer == nil || evictor == nil {
+		return nil, errors.New("testbed: cluster, placer and evictor are required")
+	}
+	cfg = cfg.withDefaults()
+	for _, pm := range cluster.PMs() {
+		if _, ok := conns[pm.ID]; !ok {
+			return nil, fmt.Errorf("testbed: no agent connection for pm %d", pm.ID)
+		}
+	}
+	c := &Controller{
+		cfg:     cfg,
+		cluster: cluster,
+		placer:  placer,
+		evictor: evictor,
+		conns:   conns,
+		jobs:    jobs,
+		traces:  make(map[int]trace.Series, len(jobs)),
+	}
+	for _, j := range jobs {
+		if j.VM == nil {
+			return nil, errors.New("testbed: job without VM")
+		}
+		if _, dup := c.traces[j.VM.ID]; dup {
+			return nil, fmt.Errorf("testbed: duplicate job id %d", j.VM.ID)
+		}
+		c.traces[j.VM.ID] = j.Trace
+	}
+	return c, nil
+}
+
+// Run drives the experiment and shuts the agents down afterwards.
+func (c *Controller) Run() (Result, error) {
+	var res Result
+	for step := 0; step < c.cfg.Steps; step++ {
+		if err := c.round(step, &res); err != nil {
+			return res, err
+		}
+	}
+	res.PMsUsed = c.cluster.MaxUsed
+	if res.ActivePMSteps > 0 {
+		res.SLOViolationPct = 100 * float64(res.ViolatedPMSteps) / float64(res.ActivePMSteps)
+	}
+	if err := c.shutdown(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func (c *Controller) round(step int, res *Result) error {
+	// Departures then arrivals, mirroring the simulator's order.
+	for _, j := range c.jobs {
+		if j.End == step && j.End > 0 {
+			if _, placed := c.cluster.Locate(j.VM.ID); placed {
+				if err := c.kill(j.VM.ID); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i := range c.jobs {
+		j := &c.jobs[i]
+		if j.Start != step {
+			continue
+		}
+		pm, assign, err := c.placer.Place(c.cluster, j.VM, nil)
+		if errors.Is(err, placement.ErrNoCapacity) {
+			res.Rejected++
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("testbed: place job %d: %w", j.VM.ID, err)
+		}
+		if err := c.startOn(pm, j.VM, assign); err != nil {
+			return err
+		}
+	}
+
+	// Tick every active agent and react to the reported loads.
+	active := append([]*placement.PM(nil), c.cluster.UsedPMs()...)
+	for _, pm := range active {
+		if !pm.Active() {
+			continue
+		}
+		status, err := c.tick(pm.ID, step)
+		if err != nil {
+			return err
+		}
+		if err := c.handleStatus(pm, status, step, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Controller) handleStatus(pm *placement.PM, status *Status, step int, res *Result) error {
+	gi := pm.Shape.GroupIndex(c.cfg.CPUGroup)
+	if gi < 0 {
+		return fmt.Errorf("testbed: pm %d has no group %q", pm.ID, c.cfg.CPUGroup)
+	}
+	lo, hi := pm.Shape.GroupRange(gi)
+	capUnits := float64(pm.Shape.Group(gi).Cap)
+
+	res.ActivePMSteps++
+	violated := false
+	var overloadedDims []int
+	for d := lo; d < hi; d++ {
+		if status.Load[d] >= capUnits-1e-9 {
+			violated = true
+		}
+		if status.Load[d] > c.cfg.OverloadThreshold*capUnits {
+			overloadedDims = append(overloadedDims, d)
+		}
+	}
+	if violated {
+		res.ViolatedPMSteps++
+	}
+	if len(overloadedDims) == 0 {
+		return nil
+	}
+	res.OverloadEvents++
+
+	// Kill one job and continue it elsewhere — the paper's testbed
+	// migration. One victim per round keeps the control loop simple;
+	// a still-overloaded PM is handled again next round.
+	victimID, ok := c.evictor.SelectVictim(pm, overloadedDims)
+	if !ok {
+		return nil
+	}
+	if err := c.kill(victimID); err != nil {
+		return err
+	}
+	vm := c.jobVM(victimID)
+	dest, assign, err := c.placer.Place(c.cluster, vm, pm)
+	if err != nil {
+		// Nowhere to continue the job: restart it on the source.
+		res.FailedMoves++
+		if assign := c.sourceAssign(pm, vm); assign != nil {
+			return c.startOn(pm, vm, assign)
+		}
+		return nil
+	}
+	if err := c.startOn(dest, vm, assign); err != nil {
+		return err
+	}
+	res.Migrations++
+	return nil
+}
+
+func (c *Controller) jobVM(id int) *placement.VM {
+	for i := range c.jobs {
+		if c.jobs[i].VM.ID == id {
+			return c.jobs[i].VM
+		}
+	}
+	return nil
+}
+
+func (c *Controller) sourceAssign(pm *placement.PM, vm *placement.VM) resource.Assignment {
+	demand, ok := vm.DemandOn(pm.Type)
+	if !ok {
+		return nil
+	}
+	return resource.GreedyAssign(pm.Shape, pm.Used(), demand)
+}
+
+// startOn updates the mirror and instructs the agent.
+func (c *Controller) startOn(pm *placement.PM, vm *placement.VM, assign resource.Assignment) error {
+	if err := c.cluster.Host(pm, vm, assign); err != nil {
+		return fmt.Errorf("testbed: host job %d on pm %d: %w", vm.ID, pm.ID, err)
+	}
+	reply, err := c.call(pm.ID, Message{Kind: KindStart, Job: &JobSpec{
+		ID:     vm.ID,
+		Assign: assign,
+		Trace:  c.traces[vm.ID],
+	}})
+	if err != nil {
+		return err
+	}
+	if reply.Kind != KindOK {
+		return fmt.Errorf("testbed: agent %d rejected job %d: %s", pm.ID, vm.ID, reply.Err)
+	}
+	return nil
+}
+
+// kill removes the job from the mirror and the agent.
+func (c *Controller) kill(jobID int) error {
+	pm, ok := c.cluster.Locate(jobID)
+	if !ok {
+		return fmt.Errorf("testbed: job %d not placed", jobID)
+	}
+	if _, err := c.cluster.Release(jobID); err != nil {
+		return err
+	}
+	reply, err := c.call(pm.ID, Message{Kind: KindKill, JobID: jobID})
+	if err != nil {
+		return err
+	}
+	if reply.Kind != KindOK {
+		return fmt.Errorf("testbed: agent %d kill job %d: %s", pm.ID, jobID, reply.Err)
+	}
+	return nil
+}
+
+func (c *Controller) tick(pmID, step int) (*Status, error) {
+	reply, err := c.call(pmID, Message{Kind: KindTick, Step: step})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Kind != KindStatus || reply.Status == nil {
+		return nil, fmt.Errorf("testbed: agent %d bad tick reply %v", pmID, reply.Kind)
+	}
+	return reply.Status, nil
+}
+
+func (c *Controller) call(pmID int, m Message) (Message, error) {
+	conn := c.conns[pmID]
+	if err := conn.Send(m); err != nil {
+		return Message{}, err
+	}
+	return conn.Recv()
+}
+
+func (c *Controller) shutdown() error {
+	for _, pm := range c.cluster.PMs() {
+		reply, err := c.call(pm.ID, Message{Kind: KindShutdown})
+		if err != nil {
+			return err
+		}
+		if reply.Kind != KindOK {
+			return fmt.Errorf("testbed: agent %d shutdown: %s", pm.ID, reply.Err)
+		}
+	}
+	return nil
+}

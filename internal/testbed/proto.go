@@ -1,0 +1,89 @@
+// Package testbed emulates the paper's GENI experiment: PMs are
+// emulated by instances running an agent, VMs by jobs, and a
+// centralized controller assigns jobs to instances, polls their
+// utilization every control interval (10 s in the paper), and handles
+// overload by killing a job and continuing it on another instance.
+//
+// The controller and agents exchange gob-encoded messages over a
+// Transport; both an in-memory channel transport and a real TCP
+// (loopback) transport are provided. Rounds are lock-step — the
+// controller ticks each agent and waits for its status — so runs are
+// deterministic for a fixed seed, while still exercising real
+// message passing (and real sockets under TransportTCP).
+package testbed
+
+import (
+	"fmt"
+
+	"pagerankvm/internal/resource"
+)
+
+// MsgKind enumerates protocol messages.
+type MsgKind int
+
+const (
+	// KindTick asks an agent for its status at a step.
+	KindTick MsgKind = iota + 1
+	// KindStart asks an agent to start (or continue) a job.
+	KindStart
+	// KindKill asks an agent to kill a job.
+	KindKill
+	// KindShutdown terminates the agent loop.
+	KindShutdown
+	// KindStatus is the agent's reply to KindTick.
+	KindStatus
+	// KindOK is the agent's reply to start/kill/shutdown.
+	KindOK
+	// KindError reports an agent-side failure.
+	KindError
+)
+
+// String implements fmt.Stringer.
+func (k MsgKind) String() string {
+	switch k {
+	case KindTick:
+		return "tick"
+	case KindStart:
+		return "start"
+	case KindKill:
+		return "kill"
+	case KindShutdown:
+		return "shutdown"
+	case KindStatus:
+		return "status"
+	case KindOK:
+		return "ok"
+	case KindError:
+		return "error"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// JobSpec carries everything an agent needs to run a job: its
+// identity, the per-dimension units it occupies (the controller's
+// anti-collocation assignment), and its CPU utilization trace.
+type JobSpec struct {
+	ID     int
+	Assign []resource.DimUnits
+	Trace  []float64
+}
+
+// Status is an agent's per-tick report: actual per-dimension load and
+// the ids of hosted jobs.
+type Status struct {
+	AgentID int
+	Step    int
+	Load    []float64
+	Jobs    []int
+}
+
+// Message is the single wire envelope for all protocol messages.
+type Message struct {
+	Kind   MsgKind
+	Step   int
+	Job    *JobSpec
+	JobID  int
+	Status *Status
+	Err    string
+}

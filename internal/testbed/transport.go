@@ -1,0 +1,118 @@
+package testbed
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn is a bidirectional message pipe between the controller and one
+// agent.
+type Conn interface {
+	Send(Message) error
+	Recv() (Message, error)
+	Close() error
+}
+
+// Pipe returns an in-memory connected pair: the controller uses one
+// end, the agent the other. Sends block until received (lock-step
+// protocol), like an unbuffered socket.
+func Pipe() (controller, agent Conn) {
+	a2c := make(chan Message)
+	c2a := make(chan Message)
+	done := make(chan struct{})
+	stop := &sync.Once{}
+	return &chanConn{send: c2a, recv: a2c, done: done, stop: stop},
+		&chanConn{send: a2c, recv: c2a, done: done, stop: stop}
+}
+
+type chanConn struct {
+	send chan Message
+	recv chan Message
+	done chan struct{}
+	stop *sync.Once
+}
+
+func (c *chanConn) Send(m Message) error {
+	select {
+	case c.send <- m:
+		return nil
+	case <-c.done:
+		return fmt.Errorf("testbed: send on closed conn")
+	}
+}
+
+func (c *chanConn) Recv() (Message, error) {
+	select {
+	case m := <-c.recv:
+		return m, nil
+	case <-c.done:
+		return Message{}, fmt.Errorf("testbed: recv on closed conn")
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.stop.Do(func() { close(c.done) })
+	return nil
+}
+
+// gobConn frames messages with encoding/gob over a net.Conn — the
+// TCP transport of the emulated GENI control network.
+type gobConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewGobConn wraps a network connection.
+func NewGobConn(c net.Conn) Conn {
+	return &gobConn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (g *gobConn) Send(m Message) error {
+	if err := g.enc.Encode(m); err != nil {
+		return fmt.Errorf("testbed: send: %w", err)
+	}
+	return nil
+}
+
+func (g *gobConn) Recv() (Message, error) {
+	var m Message
+	if err := g.dec.Decode(&m); err != nil {
+		return Message{}, fmt.Errorf("testbed: recv: %w", err)
+	}
+	return m, nil
+}
+
+func (g *gobConn) Close() error { return g.conn.Close() }
+
+// DialTCPPair creates a loopback TCP connection pair on an ephemeral
+// port: the returned conns are the controller's and agent's ends.
+func DialTCPPair() (controller, agent Conn, err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, fmt.Errorf("testbed: listen: %w", err)
+	}
+	defer ln.Close()
+
+	type result struct {
+		conn net.Conn
+		err  error
+	}
+	accepted := make(chan result, 1)
+	go func() {
+		c, err := ln.Accept()
+		accepted <- result{conn: c, err: err}
+	}()
+	dialed, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		return nil, nil, fmt.Errorf("testbed: dial: %w", err)
+	}
+	res := <-accepted
+	if res.err != nil {
+		dialed.Close()
+		return nil, nil, fmt.Errorf("testbed: accept: %w", res.err)
+	}
+	return NewGobConn(dialed), NewGobConn(res.conn), nil
+}

@@ -1,0 +1,117 @@
+package testbed
+
+import (
+	"testing"
+
+	"pagerankvm/internal/resource"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	ctrl, agent := Pipe()
+	go func() {
+		m, err := agent.Recv()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m.Step++
+		if err := agent.Send(m); err != nil {
+			t.Error(err)
+		}
+	}()
+	if err := ctrl.Send(Message{Kind: KindTick, Step: 41}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ctrl.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Step != 42 {
+		t.Fatalf("Step = %d", reply.Step)
+	}
+}
+
+func TestPipeClose(t *testing.T) {
+	ctrl, agent := Pipe()
+	if err := ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent and closes both ends.
+	if err := agent.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Send(Message{}); err == nil {
+		t.Fatal("send on closed pipe succeeded")
+	}
+	if _, err := agent.Recv(); err == nil {
+		t.Fatal("recv on closed pipe succeeded")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	ctrl, agent, err := DialTCPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	defer agent.Close()
+
+	msg := Message{
+		Kind: KindStart,
+		Job: &JobSpec{
+			ID:     7,
+			Assign: []resource.DimUnits{{Dim: 0, Units: 1}, {Dim: 2, Units: 1}},
+			Trace:  []float64{0.25, 0.5, 1},
+		},
+	}
+	done := make(chan error, 1)
+	go func() {
+		m, err := agent.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		if m.Job == nil || m.Job.ID != 7 || len(m.Job.Assign) != 2 || m.Job.Trace[2] != 1 {
+			done <- errFmt("bad payload %+v", m.Job)
+			return
+		}
+		done <- agent.Send(Message{Kind: KindOK})
+	}()
+	if err := ctrl.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := ctrl.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Kind != KindOK {
+		t.Fatalf("reply = %v", reply.Kind)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func errFmt(format string, args ...any) error {
+	return &protoError{msg: format, args: args}
+}
+
+type protoError struct {
+	msg  string
+	args []any
+}
+
+func (e *protoError) Error() string { return e.msg }
+
+func TestMsgKindString(t *testing.T) {
+	kinds := map[MsgKind]string{
+		KindTick: "tick", KindStart: "start", KindKill: "kill",
+		KindShutdown: "shutdown", KindStatus: "status", KindOK: "ok",
+		KindError: "error", MsgKind(99): "kind(99)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

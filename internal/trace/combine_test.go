@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBlend(t *testing.T) {
+	a := Series{0.2, 0.4, 0.6}
+	b := Series{1.0, 0.0, 1.0, 0.5}
+	got := Blend(a, b, 0.5)
+	want := Series{0.6, 0.2, 0.8}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Blend[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBlendClamps(t *testing.T) {
+	got := Blend(Series{1.0}, Series{1.0}, 1.5)
+	if got[0] != 1 {
+		t.Fatalf("Blend not clamped: %v", got[0])
+	}
+}
+
+func TestOverlay(t *testing.T) {
+	base := Series{0.3, 0.7, 0.5}
+	burst := Series{0.0, 0.6, 0.9, 0.4}
+	got := Overlay(base, burst)
+	want := Series{0.3, 1.0, 1.0}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Overlay[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBurstsDeterministicAndBounded(t *testing.T) {
+	a := Bursts(7, 3, 500, BurstConfig{})
+	b := Bursts(7, 3, 500, BurstConfig{})
+	if len(a) != 500 {
+		t.Fatalf("len = %d", len(a))
+	}
+	sawBurst := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+		if a[i] < 0 || a[i] > 1 {
+			t.Fatalf("sample %v out of range", a[i])
+		}
+		if a[i] > 0.4 {
+			sawBurst = true
+		}
+	}
+	if !sawBurst {
+		t.Fatal("no bursts in 500 steps at default probability")
+	}
+	c := Bursts(8, 3, 500, BurstConfig{})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical bursts")
+	}
+}
+
+func TestBurstsDecay(t *testing.T) {
+	// A burst decays geometrically: after a peak the next samples are
+	// strictly smaller until the next burst.
+	s := Bursts(1, 1, 2000, BurstConfig{Prob: 0.005, Min: 0.9, Max: 0.9, Decay: 0.5})
+	found := false
+	for i := 0; i+1 < len(s); i++ {
+		if s[i] == 0.9 && s[i+1] != 0.9 {
+			if math.Abs(s[i+1]-0.45) > 1e-12 {
+				t.Fatalf("decay after peak = %v, want 0.45", s[i+1])
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no isolated burst found; decay unverifiable for this seed")
+	}
+}

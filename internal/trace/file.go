@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FileSet serves traces loaded from disk in CloudSim's PlanetLab
+// workload format: one file per VM, one integer CPU-utilization
+// percentage (0-100) per line, 5-minute samples. The paper drives its
+// simulation with exactly such files; this loader lets users with the
+// original archives substitute them for the synthetic generators
+// (DESIGN.md §5).
+type FileSet struct {
+	names  []string
+	series map[string]Series
+}
+
+var _ Generator = (*FileSet)(nil)
+
+// LoadDir reads every regular file of fsys (e.g. os.DirFS(dir)) as one
+// VM trace, in lexicographic filename order.
+func LoadDir(fsys fs.FS) (*FileSet, error) {
+	entries, err := fs.ReadDir(fsys, ".")
+	if err != nil {
+		return nil, fmt.Errorf("trace: read dir: %w", err)
+	}
+	set := &FileSet{series: make(map[string]Series)}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		f, err := fsys.Open(e.Name())
+		if err != nil {
+			return nil, fmt.Errorf("trace: open %s: %w", e.Name(), err)
+		}
+		s, err := ParseSeries(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("trace: %s: %w", e.Name(), err)
+		}
+		set.series[e.Name()] = s
+		set.names = append(set.names, e.Name())
+	}
+	if len(set.names) == 0 {
+		return nil, fmt.Errorf("trace: no trace files found")
+	}
+	sort.Strings(set.names)
+	return set, nil
+}
+
+// ParseSeries reads one PlanetLab-format trace: one utilization
+// percentage per line; blank lines and '#' comments are skipped.
+func ParseSeries(r io.Reader) (Series, error) {
+	var s Series
+	scanner := bufio.NewScanner(r)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		pct, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if pct < 0 || pct > 100 {
+			return nil, fmt.Errorf("line %d: utilization %v outside [0,100]", line, pct)
+		}
+		s = append(s, pct/100)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("empty trace")
+	}
+	return s, nil
+}
+
+// Name implements Generator.
+func (f *FileSet) Name() string { return "file" }
+
+// Len returns the number of loaded traces.
+func (f *FileSet) Len() int { return len(f.names) }
+
+// Series implements Generator: VM ids map onto the loaded files
+// round-robin (the paper: "we randomly chose traces of the VMs"; a
+// deterministic assignment keeps runs reproducible). Loaded traces are
+// truncated or end-extended (Series.At clamps) to the requested
+// length.
+func (f *FileSet) Series(vmID, steps int) Series {
+	name := f.names[((vmID%len(f.names))+len(f.names))%len(f.names)]
+	src := f.series[name]
+	out := make(Series, steps)
+	for i := range out {
+		out[i] = src.At(i)
+	}
+	return out
+}
+
+// ByFile returns the raw series of a loaded file.
+func (f *FileSet) ByFile(name string) (Series, bool) {
+	s, ok := f.series[name]
+	return s, ok
+}

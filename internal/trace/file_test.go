@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/fstest"
+)
+
+func TestParseSeries(t *testing.T) {
+	in := "0\n50\n\n# comment\n100\n25\n"
+	s, err := ParseSeries(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Series{0, 0.5, 1, 0.25}
+	if len(s) != len(want) {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Errorf("s[%d] = %v, want %v", i, s[i], want[i])
+		}
+	}
+}
+
+func TestParseSeriesErrors(t *testing.T) {
+	for _, in := range []string{"", "abc\n", "150\n", "-5\n"} {
+		if _, err := ParseSeries(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseSeries(%q) accepted", in)
+		}
+	}
+}
+
+func TestLoadDir(t *testing.T) {
+	fsys := fstest.MapFS{
+		"vm_b": {Data: []byte("10\n20\n")},
+		"vm_a": {Data: []byte("100\n")},
+	}
+	set, err := LoadDir(fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 2 || set.Name() != "file" {
+		t.Fatalf("Len = %d", set.Len())
+	}
+	// Round-robin in sorted filename order: vm 0 -> vm_a, vm 1 -> vm_b.
+	a := set.Series(0, 3)
+	if a[0] != 1 || a[2] != 1 { // clamped extension
+		t.Fatalf("vm 0 series = %v", a)
+	}
+	b := set.Series(1, 2)
+	if b[0] != 0.1 || b[1] != 0.2 {
+		t.Fatalf("vm 1 series = %v", b)
+	}
+	// Wrap-around.
+	c := set.Series(2, 1)
+	if c[0] != 1 {
+		t.Fatalf("vm 2 series = %v", c)
+	}
+	if _, ok := set.ByFile("vm_b"); !ok {
+		t.Fatal("ByFile failed")
+	}
+	if _, ok := set.ByFile("nope"); ok {
+		t.Fatal("ByFile found a ghost")
+	}
+}
+
+func TestLoadDirErrors(t *testing.T) {
+	if _, err := LoadDir(fstest.MapFS{}); err == nil {
+		t.Fatal("accepted empty dir")
+	}
+	bad := fstest.MapFS{"x": {Data: []byte("oops\n")}}
+	if _, err := LoadDir(bad); err == nil {
+		t.Fatal("accepted bad file")
+	}
+}

@@ -1,0 +1,302 @@
+// Package trace generates synthetic per-VM CPU-utilization time
+// series standing in for the two traces the paper uses:
+//
+//   - the PlanetLab trace shipped with CloudSim (5-minute CPU samples
+//     over 24 hours per node): moderate mean, strong diurnal pattern,
+//     AR(1)-correlated noise;
+//   - the Google cluster usage trace (May 2011, ~11k machines):
+//     lower mean, heavy-tailed bursts, weak diurnal structure.
+//
+// Neither original trace is redistributable or reachable offline; the
+// simulator only consumes a utilization multiplier in [0, 1] per VM
+// per interval, so a seeded generator with matching shape preserves
+// the evaluated behaviour (see DESIGN.md §5). Generators are
+// deterministic given (seed, vm id).
+package trace
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Series is one VM's utilization multipliers, one sample per interval,
+// each in [0, 1]: the fraction of the VM's requested CPU it actually
+// uses during the interval.
+type Series []float64
+
+// At returns the sample at step i, clamping past the end (a VM that
+// outlives its trace keeps its final utilization).
+func (s Series) At(i int) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// Mean returns the average utilization of the series.
+func (s Series) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range s {
+		total += x
+	}
+	return total / float64(len(s))
+}
+
+// Max returns the peak utilization of the series.
+func (s Series) Max() float64 {
+	peak := 0.0
+	for _, x := range s {
+		if x > peak {
+			peak = x
+		}
+	}
+	return peak
+}
+
+// Generator produces utilization series for VM ids.
+type Generator interface {
+	Name() string
+	// Series returns the utilization series for one VM over the given
+	// number of steps. Deterministic in (generator seed, vmID).
+	Series(vmID, steps int) Series
+}
+
+// clamp01 bounds x into [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// PlanetLab mimics the CloudSim PlanetLab workload: a diurnal base
+// level plus AR(1) noise and occasional decaying spikes. The diurnal
+// phase is shared across VMs (with per-VM jitter): PlanetLab nodes see
+// correlated daily peaks, which is what drives simultaneous host
+// overloads in the paper's experiments.
+type PlanetLab struct {
+	// Seed drives all randomness; two generators with equal seeds
+	// produce identical workloads.
+	Seed int64
+	// Mean is the long-run average utilization; default 0.35.
+	Mean float64
+	// Diurnal is the amplitude of the day/night swing; default 0.20.
+	Diurnal float64
+	// StepsPerDay is the number of samples in one diurnal period;
+	// default 288 (5-minute samples over 24 h).
+	StepsPerDay int
+}
+
+var _ Generator = PlanetLab{}
+
+// Name implements Generator.
+func (PlanetLab) Name() string { return "planetlab" }
+
+// Series implements Generator.
+func (g PlanetLab) Series(vmID, steps int) Series {
+	mean := g.Mean
+	if mean == 0 {
+		mean = 0.35
+	}
+	diurnal := g.Diurnal
+	if diurnal == 0 {
+		diurnal = 0.20
+	}
+	perDay := g.StepsPerDay
+	if perDay == 0 {
+		perDay = 288
+	}
+	// The daily peak hour is common to the whole workload (seed-
+	// derived), individual VMs jitter around it.
+	globalPhase := rand.New(rand.NewSource(g.Seed)).Float64() * 2 * math.Pi
+	rng := rand.New(rand.NewSource(g.Seed*1000003 + int64(vmID)))
+
+	var (
+		phase   = globalPhase + 0.4*rng.NormFloat64()
+		level   = mean * (0.6 + 0.8*rng.Float64()) // VM-specific mean
+		sigma   = 0.05 + 0.10*rng.Float64()
+		rho     = 0.85 // AR(1) autocorrelation across 5-min samples
+		noise   = 0.0
+		burst   = 0.0
+		samples = make(Series, steps)
+	)
+	for i := range samples {
+		day := 2 * math.Pi * float64(i) / float64(perDay)
+		base := level + diurnal*math.Sin(day+phase)
+		noise = rho*noise + math.Sqrt(1-rho*rho)*rng.NormFloat64()*sigma
+		// Occasional load spikes toward saturation, decaying over a
+		// few intervals.
+		if rng.Float64() < 0.02 {
+			burst = 0.4 + 0.6*rng.Float64()
+		}
+		samples[i] = clamp01(base + noise + burst)
+		burst *= 0.5
+	}
+	return samples
+}
+
+// Google mimics the Google cluster usage trace: lower average
+// utilization than PlanetLab, heavy-tailed bursts, little diurnal
+// structure.
+type Google struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Mean is the long-run average utilization; default 0.30.
+	Mean float64
+}
+
+var _ Generator = Google{}
+
+// Name implements Generator.
+func (Google) Name() string { return "google" }
+
+// Series implements Generator.
+func (g Google) Series(vmID, steps int) Series {
+	mean := g.Mean
+	if mean == 0 {
+		mean = 0.30
+	}
+	rng := rand.New(rand.NewSource(g.Seed*998244353 + int64(vmID)))
+
+	var (
+		level   = mean * (0.4 + 1.2*rng.Float64())
+		rho     = 0.7
+		noise   = 0.0
+		burst   = 0.0 // current burst height, decays geometrically
+		samples = make(Series, steps)
+	)
+	for i := range samples {
+		noise = rho*noise + math.Sqrt(1-rho*rho)*rng.NormFloat64()*0.08
+		// Heavy-tailed bursts: start with small probability, then
+		// decay over several intervals (tasks ramping up and down).
+		if rng.Float64() < 0.03 {
+			burst = 0.4 + 0.6*math.Pow(rng.Float64(), 0.5)
+		}
+		samples[i] = clamp01(level + noise + burst)
+		burst *= 0.6
+	}
+	return samples
+}
+
+// Constant yields a fixed utilization for every VM and step — useful
+// for tests and capacity planning.
+type Constant struct {
+	// Level is the fixed utilization in [0, 1].
+	Level float64
+}
+
+var _ Generator = Constant{}
+
+// Name implements Generator.
+func (Constant) Name() string { return "constant" }
+
+// Series implements Generator.
+func (g Constant) Series(_, steps int) Series {
+	s := make(Series, steps)
+	for i := range s {
+		s[i] = clamp01(g.Level)
+	}
+	return s
+}
+
+// Blend mixes two series: w*a + (1-w)*b, sample-wise, truncated to the
+// shorter input.
+func Blend(a, b Series, w float64) Series {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make(Series, n)
+	for i := 0; i < n; i++ {
+		out[i] = clamp01(w*a[i] + (1-w)*b[i])
+	}
+	return out
+}
+
+// Overlay adds two series sample-wise with clamping to [0, 1],
+// truncated to the shorter input. Workload builders overlay a shared
+// tenant burst series on each VM's base series: when a tenant's
+// workload surges, all of its VMs surge together.
+func Overlay(a, b Series) Series {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make(Series, n)
+	for i := 0; i < n; i++ {
+		out[i] = clamp01(a[i] + b[i])
+	}
+	return out
+}
+
+// BurstConfig parameterizes a Bursts series.
+type BurstConfig struct {
+	// Prob is the per-step probability that a burst starts; default
+	// 0.02.
+	Prob float64
+	// Min and Max bound a burst's initial height; defaults 0.5, 0.9.
+	Min, Max float64
+	// Decay is the per-step geometric decay of a burst; default 0.6.
+	Decay float64
+}
+
+func (c BurstConfig) withDefaults() BurstConfig {
+	if c.Prob == 0 {
+		c.Prob = 0.02
+	}
+	if c.Max == 0 {
+		c.Min, c.Max = 0.5, 0.9
+	}
+	if c.Decay == 0 {
+		c.Decay = 0.6
+	}
+	return c
+}
+
+// Bursts generates a burst-only series (zero baseline): occasional
+// surges that decay geometrically. Deterministic in (seed, id).
+func Bursts(seed int64, id, steps int, cfg BurstConfig) Series {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed*69061 + int64(id)))
+	out := make(Series, steps)
+	burst := 0.0
+	for i := range out {
+		if rng.Float64() < cfg.Prob {
+			burst = cfg.Min + (cfg.Max-cfg.Min)*rng.Float64()
+		}
+		out[i] = clamp01(burst)
+		burst *= cfg.Decay
+	}
+	return out
+}
+
+// ErrUnknownGenerator is returned by ByName for unrecognized names.
+var ErrUnknownGenerator = errors.New("trace: unknown generator")
+
+// ByName builds a generator from its name ("planetlab", "google",
+// "constant"), used by the CLI tools.
+func ByName(name string, seed int64) (Generator, error) {
+	switch name {
+	case "planetlab":
+		return PlanetLab{Seed: seed}, nil
+	case "google":
+		return Google{Seed: seed}, nil
+	case "constant":
+		return Constant{Level: 0.5}, nil
+	default:
+		return nil, ErrUnknownGenerator
+	}
+}

@@ -1,0 +1,221 @@
+package pagerankvm
+
+import (
+	"io"
+
+	"pagerankvm/internal/energy"
+	"pagerankvm/internal/mip"
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+	"pagerankvm/internal/sim"
+	"pagerankvm/internal/trace"
+)
+
+// Resource model (internal/resource).
+type (
+	// Vec is a per-dimension integer resource vector.
+	Vec = resource.Vec
+	// Group is a set of identical dimensions of one PM resource.
+	Group = resource.Group
+	// Shape is a PM type's dimension layout.
+	Shape = resource.Shape
+	// Demand is one VM requirement against one group; multiple Units
+	// entries are anti-collocated.
+	Demand = resource.Demand
+	// VMType is a VM class with demands across groups.
+	VMType = resource.VMType
+	// DimUnits is one (dimension, units) cell of an assignment.
+	DimUnits = resource.DimUnits
+	// Assignment is a concrete anti-collocating placement of a VM.
+	Assignment = resource.Assignment
+	// PlacementOption is one distinct outcome of adding a VM to a
+	// profile.
+	PlacementOption = resource.Placement
+)
+
+// NewShape validates groups and builds a Shape.
+func NewShape(groups ...Group) (*Shape, error) { return resource.NewShape(groups...) }
+
+// MustShape is NewShape that panics on error.
+func MustShape(groups ...Group) *Shape { return resource.MustShape(groups...) }
+
+// NewVMType builds a VM type from demands.
+func NewVMType(name string, demands ...Demand) VMType { return resource.NewVMType(name, demands...) }
+
+// Placements enumerates the distinct canonical outcomes of adding vm
+// to profile p under shape s.
+func Placements(s *Shape, p Vec, vm VMType) []PlacementOption { return resource.Placements(s, p, vm) }
+
+// Fits reports whether vm can be placed onto p at all.
+func Fits(s *Shape, p Vec, vm VMType) bool { return resource.Fits(s, p, vm) }
+
+// Quantize converts a physical demand into integer units (rounding
+// up); QuantizeCap converts a capacity (rounding down).
+func Quantize(amount, quantum float64) int    { return resource.Quantize(amount, quantum) }
+func QuantizeCap(amount, quantum float64) int { return resource.QuantizeCap(amount, quantum) }
+
+// Profile ranking (internal/ranktable).
+type (
+	// RankOptions configures Profile→score table construction.
+	RankOptions = ranktable.Options
+	// RankMode selects the Algorithm 1 interpretation.
+	RankMode = ranktable.Mode
+	// RankTable is an exact Profile→score table over one lattice.
+	RankTable = ranktable.Table
+	// FactoredTable scores profiles as a product of per-group tables.
+	FactoredTable = ranktable.Factored
+	// Ranker scores PM usage profiles.
+	Ranker = ranktable.Ranker
+	// Registry maps PM type names to rankers.
+	Registry = ranktable.Registry
+	// RankEntry pairs a profile with its score.
+	RankEntry = ranktable.Entry
+)
+
+// Rank mode constants; ModeAbsorption is the default (see DESIGN.md).
+const (
+	ModeAbsorption = ranktable.ModeAbsorption
+	ModeReversePR  = ranktable.ModeReversePR
+	ModeForwardPR  = ranktable.ModeForwardPR
+)
+
+// BuildJointTable runs Algorithm 1 on the full canonical profile
+// lattice of shape.
+func BuildJointTable(shape *Shape, vmTypes []VMType, opts RankOptions) (*RankTable, error) {
+	return ranktable.NewJoint(shape, vmTypes, opts)
+}
+
+// BuildFactoredTable builds one table per resource group (the
+// scalable ranker for large PM types).
+func BuildFactoredTable(shape *Shape, vmTypes []VMType, opts RankOptions) (*FactoredTable, error) {
+	return ranktable.NewFactored(shape, vmTypes, opts)
+}
+
+// LoadRankTable reads a table written with RankTable.Save.
+func LoadRankTable(r io.Reader) (*RankTable, error) { return ranktable.LoadTable(r) }
+
+// NewRegistry returns an empty ranker registry.
+func NewRegistry() *Registry { return ranktable.NewRegistry() }
+
+// Placement (internal/placement).
+type (
+	// VM is a placement request.
+	VM = placement.VM
+	// PM is one physical machine.
+	PM = placement.PM
+	// Cluster tracks PMs and hosted VMs (the used/unused PM lists of
+	// Algorithm 2).
+	Cluster = placement.Cluster
+	// Placer selects a PM and assignment for a VM.
+	Placer = placement.Placer
+	// Evictor selects overload victims.
+	Evictor = placement.Evictor
+	// Hosted is a VM on a PM with its assignment.
+	Hosted = placement.Hosted
+	// PageRankVM is the paper's Algorithm 2 placer.
+	PageRankVM = placement.PageRankVM
+	// FirstFit, FFDSum, CompVM and BestFit are the comparison
+	// algorithms.
+	FirstFit = placement.FirstFit
+	FFDSum   = placement.FFDSum
+	CompVM   = placement.CompVM
+	BestFit  = placement.BestFit
+	// RankEvictor is PageRankVM's overload policy; MMTEvictor is
+	// CloudSim's minimum-migration-time default used by baselines.
+	RankEvictor = placement.RankEvictor
+	MMTEvictor  = placement.MMTEvictor
+	// PageRankOption configures NewPageRankVM.
+	PageRankOption = placement.PageRankOption
+)
+
+// ErrNoCapacity is returned when no PM can host a VM.
+var ErrNoCapacity = placement.ErrNoCapacity
+
+// NewPM returns an empty PM.
+func NewPM(id int, pmType string, shape *Shape) *PM { return placement.NewPM(id, pmType, shape) }
+
+// NewCluster builds a cluster over a PM inventory.
+func NewCluster(pms []*PM) *Cluster { return placement.NewCluster(pms) }
+
+// NewPageRankVM builds the Algorithm 2 placer.
+func NewPageRankVM(rankers *Registry, opts ...PageRankOption) *PageRankVM {
+	return placement.NewPageRankVM(rankers, opts...)
+}
+
+// WithTwoChoice enables the Section V-C 2-choice sampling variant.
+func WithTwoChoice() PageRankOption { return placement.WithTwoChoice() }
+
+// WithSeed seeds the placer's tie-breaking generator.
+func WithSeed(seed int64) PageRankOption { return placement.WithSeed(seed) }
+
+// Simulation (internal/sim).
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// Workload pairs a VM with its trace and lease window.
+	Workload = sim.Workload
+	// Simulation is one trace-driven run.
+	Simulation = sim.Simulation
+	// SimResult aggregates the paper's metrics.
+	SimResult = sim.Result
+)
+
+// NewSimulation assembles a simulation run.
+func NewSimulation(cfg SimConfig, cluster *Cluster, placer Placer, evictor Evictor,
+	models map[string]*EnergyModel, workloads []Workload) (*Simulation, error) {
+	return sim.New(cfg, cluster, placer, evictor, models, workloads)
+}
+
+// Traces (internal/trace).
+type (
+	// Series is a per-interval utilization multiplier series.
+	Series = trace.Series
+	// TraceGenerator produces per-VM utilization series.
+	TraceGenerator = trace.Generator
+	// PlanetLabTrace and GoogleTrace are the synthetic stand-ins for
+	// the paper's workload traces; ConstantTrace is a test fixture.
+	PlanetLabTrace = trace.PlanetLab
+	GoogleTrace    = trace.Google
+	ConstantTrace  = trace.Constant
+	// BurstConfig parameterizes tenant-level load surges.
+	BurstConfig = trace.BurstConfig
+)
+
+// TraceByName builds a generator from "planetlab", "google" or
+// "constant".
+func TraceByName(name string, seed int64) (TraceGenerator, error) {
+	return trace.ByName(name, seed)
+}
+
+// Energy (internal/energy).
+type (
+	// EnergyModel is a Table III power-vs-utilization curve.
+	EnergyModel = energy.Model
+	// EnergyMeter accumulates energy over a run.
+	EnergyMeter = energy.Meter
+)
+
+// PowerModelE52670 and PowerModelE52680 are the Table III host models.
+func PowerModelE52670() *EnergyModel { return energy.E52670() }
+func PowerModelE52680() *EnergyModel { return energy.E52680() }
+
+// PowerModelByName resolves a Table III model by name.
+func PowerModelByName(name string) (*EnergyModel, error) { return energy.ByName(name) }
+
+// Exact solver (internal/mip).
+type (
+	// ExactOptions tunes the branch-and-bound search.
+	ExactOptions = mip.Options
+	// ExactSolution is the optimal assignment found.
+	ExactSolution = mip.Solution
+)
+
+// ErrInfeasible is returned by SolveExact when no assignment exists.
+var ErrInfeasible = mip.ErrInfeasible
+
+// SolveExact solves the Section IV MIP by branch-and-bound (small
+// instances only).
+func SolveExact(pms []*PM, vms []*VM, opts ExactOptions) (*ExactSolution, error) {
+	return mip.Solve(pms, vms, opts)
+}

@@ -1,0 +1,154 @@
+package pagerankvm_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pagerankvm"
+)
+
+// The facade quickstart: build a rank table, place VMs, check the
+// paper's Figure 2 ordering — all through the public API.
+func TestFacadeQuickstart(t *testing.T) {
+	shape := pagerankvm.MustShape(pagerankvm.Group{Name: "cpu", Dims: 4, Cap: 4})
+	types := []pagerankvm.VMType{
+		pagerankvm.NewVMType("[1,1]", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1}}),
+		pagerankvm.NewVMType("[1,1,1,1]", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1, 1, 1}}),
+	}
+	table, err := pagerankvm.BuildJointTable(shape, types, pagerankvm.RankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, _ := table.Score(pagerankvm.Vec{3, 3, 3, 3})
+	skewed, _ := table.Score(pagerankvm.Vec{4, 4, 2, 2})
+	if balanced <= skewed {
+		t.Fatalf("figure 2 ordering broken: %v vs %v", balanced, skewed)
+	}
+
+	reg := pagerankvm.NewRegistry()
+	reg.Add("host", table)
+	placer := pagerankvm.NewPageRankVM(reg, pagerankvm.WithSeed(1))
+
+	cluster := pagerankvm.NewCluster([]*pagerankvm.PM{
+		pagerankvm.NewPM(0, "host", shape),
+		pagerankvm.NewPM(1, "host", shape),
+	})
+	for i := 0; i < 10; i++ {
+		vm := &pagerankvm.VM{
+			ID:   i,
+			Type: "[1,1]",
+			Req:  map[string]pagerankvm.VMType{"host": types[0]},
+		}
+		pm, assign, err := placer.Place(cluster, vm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.Host(pm, vm, assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cluster.NumVMs() != 10 {
+		t.Fatalf("placed %d VMs", cluster.NumVMs())
+	}
+
+	// Serialization round-trips through the facade.
+	var buf bytes.Buffer
+	if err := table.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := pagerankvm.LoadRankTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != table.Len() {
+		t.Fatalf("loaded %d entries", loaded.Len())
+	}
+}
+
+func TestFacadeExactSolver(t *testing.T) {
+	shape := pagerankvm.MustShape(pagerankvm.Group{Name: "cpu", Dims: 2, Cap: 2})
+	vt := pagerankvm.NewVMType("[1,1]", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1}})
+	pms := []*pagerankvm.PM{
+		pagerankvm.NewPM(0, "h", shape),
+		pagerankvm.NewPM(1, "h", shape),
+	}
+	vms := []*pagerankvm.VM{
+		{ID: 0, Type: "[1,1]", Req: map[string]pagerankvm.VMType{"h": vt}},
+		{ID: 1, Type: "[1,1]", Req: map[string]pagerankvm.VMType{"h": vt}},
+	}
+	sol, err := pagerankvm.SolveExact(pms, vms, pagerankvm.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PMsUsed != 1 {
+		t.Fatalf("PMsUsed = %d", sol.PMsUsed)
+	}
+	// Infeasible case surfaces the sentinel.
+	vms = append(vms, &pagerankvm.VM{ID: 2, Type: "[1,1]", Req: map[string]pagerankvm.VMType{"h": vt}},
+		&pagerankvm.VM{ID: 3, Type: "[1,1]", Req: map[string]pagerankvm.VMType{"h": vt}},
+		&pagerankvm.VM{ID: 4, Type: "[1,1]", Req: map[string]pagerankvm.VMType{"h": vt}})
+	freshPMs := []*pagerankvm.PM{pagerankvm.NewPM(0, "h", shape)}
+	if _, err := pagerankvm.SolveExact(freshPMs, vms, pagerankvm.ExactOptions{}); !errors.Is(err, pagerankvm.ErrInfeasible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	shape := pagerankvm.MustShape(pagerankvm.Group{Name: "cpu", Dims: 2, Cap: 4})
+	vt := pagerankvm.NewVMType("[1,1]", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1}})
+	cluster := pagerankvm.NewCluster([]*pagerankvm.PM{pagerankvm.NewPM(0, "h", shape)})
+
+	gen := pagerankvm.ConstantTrace{Level: 0.5}
+	var workloads []pagerankvm.Workload
+	for i := 0; i < 3; i++ {
+		workloads = append(workloads, pagerankvm.Workload{
+			VM:    &pagerankvm.VM{ID: i, Type: "[1,1]", Req: map[string]pagerankvm.VMType{"h": vt}},
+			Trace: gen.Series(i, 4),
+		})
+	}
+	s, err := pagerankvm.NewSimulation(
+		pagerankvm.SimConfig{Interval: 300e9, Horizon: 1200e9},
+		cluster,
+		pagerankvm.FirstFit{},
+		pagerankvm.MMTEvictor{},
+		map[string]*pagerankvm.EnergyModel{"h": pagerankvm.PowerModelE52670()},
+		workloads,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PMsUsed != 1 || res.Rejected != 0 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.EnergyKWh <= 0 {
+		t.Fatalf("energy %v", res.EnergyKWh)
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if pagerankvm.Quantize(0.7, 0.65) != 2 || pagerankvm.QuantizeCap(2.6, 0.65) != 4 {
+		t.Fatal("quantization helpers broken")
+	}
+	if _, err := pagerankvm.TraceByName("planetlab", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pagerankvm.PowerModelByName("E5-2680"); err != nil {
+		t.Fatal(err)
+	}
+	shape := pagerankvm.MustShape(pagerankvm.Group{Name: "cpu", Dims: 2, Cap: 2})
+	vt := pagerankvm.NewVMType("x", pagerankvm.Demand{Group: "cpu", Units: []int{1, 1}})
+	if !pagerankvm.Fits(shape, shape.Zero(), vt) {
+		t.Fatal("Fits broken")
+	}
+	if got := len(pagerankvm.Placements(shape, shape.Zero(), vt)); got != 1 {
+		t.Fatalf("Placements = %d outcomes", got)
+	}
+	if _, err := pagerankvm.BuildFactoredTable(shape, []pagerankvm.VMType{vt}, pagerankvm.RankOptions{}); err != nil {
+		t.Fatal(err)
+	}
+}
