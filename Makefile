@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test race bench fmt
+
+# The full pre-merge gate: static analysis, a clean build, and the
+# test suite under the race detector (the obs concurrency tests are
+# written for it).
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+fmt:
+	gofmt -l -w .

@@ -15,6 +15,7 @@ import (
 	"pagerankvm"
 	"pagerankvm/internal/experiments"
 	"pagerankvm/internal/mip"
+	"pagerankvm/internal/obs"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/ranktable"
 	"pagerankvm/internal/resource"
@@ -581,6 +582,51 @@ func BenchmarkPageRankVMPlaceDecision(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchPlaceWithObs shares the BenchmarkPageRankVMPlaceDecision setup
+// so the observer-on/off pair is directly comparable to the baseline.
+func benchPlaceWithObs(b *testing.B, observer *obs.Observer) {
+	b.Helper()
+	cat, err := experiments.AmazonCatalog()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := cat.BuildRegistry(ranktable.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	placer := placement.NewPageRankVM(reg,
+		placement.WithSeed(1), placement.WithObserver(observer))
+	cluster := cat.BuildCluster(60)
+	for id := 0; id < 200; id++ {
+		vm, _ := cat.NewVM(id, "m3.large")
+		pm, assign, err := placer.Place(cluster, vm, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cluster.Host(pm, vm, assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+	probe, _ := cat.NewVM(10_000, "c3.xlarge")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := placer.Place(cluster, probe, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The disabled variant must stay within ~2% of the uninstrumented
+// baseline (BenchmarkPageRankVMPlaceDecision): a nil observer reduces
+// every instrument call to one branch.
+func BenchmarkPlaceWithObsDisabled(b *testing.B) {
+	benchPlaceWithObs(b, nil)
+}
+
+func BenchmarkPlaceWithObsEnabled(b *testing.B) {
+	benchPlaceWithObs(b, obs.New())
 }
 
 func BenchmarkTestbedRoundTCP(b *testing.B) {

@@ -4,9 +4,11 @@
 // Usage:
 //
 //	prvm-exp [-reps n] [-vms 1000,2000,3000] [-jobs 100,200,300]
-//	         [-steps n] [-quick]
+//	         [-steps n] [-quick] [-obsaddr host:port] [-metrics-out file]
 //
-// -quick shrinks every sweep to a laptop-scale smoke run.
+// -quick shrinks every sweep to a laptop-scale smoke run. -obsaddr
+// serves live telemetry (JSON metrics, decision traces, pprof) while
+// the harness runs; -metrics-out dumps the final snapshot as JSON.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"pagerankvm/internal/experiments"
+	"pagerankvm/internal/obs"
 	"pagerankvm/internal/ranktable"
 )
 
@@ -31,14 +34,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("prvm-exp", flag.ContinueOnError)
 	var (
-		reps  = fs.Int("reps", 10, "repetitions per point (paper: 100)")
-		vms   = fs.String("vms", "1000,2000,3000", "simulation VM counts")
-		jobs  = fs.String("jobs", "100,200,300", "testbed job counts")
-		steps = fs.Int("steps", 1440, "testbed control intervals")
-		seed  = fs.Int64("seed", 1, "base random seed")
-		quick = fs.Bool("quick", false, "tiny smoke-run configuration")
+		reps    = fs.Int("reps", 10, "repetitions per point (paper: 100)")
+		vms     = fs.String("vms", "1000,2000,3000", "simulation VM counts")
+		jobs    = fs.String("jobs", "100,200,300", "testbed job counts")
+		steps   = fs.Int("steps", 1440, "testbed control intervals")
+		seed    = fs.Int64("seed", 1, "base random seed")
+		quick   = fs.Bool("quick", false, "tiny smoke-run configuration")
+		obsAddr = fs.String("obsaddr", "", "serve telemetry (JSON metrics, decision traces, pprof) on this address; :0 picks a port")
+		metOut  = fs.String("metrics-out", "", "write the final telemetry snapshot as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	observer, err := setupObs(*obsAddr, *metOut)
+	if err != nil {
 		return err
 	}
 	vmCounts, err := parseInts(*vms)
@@ -73,11 +82,11 @@ func run(args []string) error {
 	}
 
 	// Figures 1 and 2 (profile ranking).
-	if err := experiments.WriteFigure1(out, ranktable.Options{}); err != nil {
+	if err := experiments.WriteFigure1(out, ranktable.Options{Obs: observer}); err != nil {
 		return err
 	}
 	fmt.Fprintln(out)
-	if err := experiments.WriteFigure2(out, ranktable.Options{}); err != nil {
+	if err := experiments.WriteFigure2(out, ranktable.Options{Obs: observer}); err != nil {
 		return err
 	}
 	fmt.Fprintln(out)
@@ -94,6 +103,7 @@ func run(args []string) error {
 			NumVMs: vmCounts,
 			Reps:   *reps,
 			Seed:   *seed,
+			Obs:    observer,
 		})
 		if err != nil {
 			return err
@@ -122,6 +132,7 @@ func run(args []string) error {
 		Reps:    *reps,
 		Seed:    *seed,
 		Steps:   *steps,
+		Obs:     observer,
 	})
 	if err != nil {
 		return err
@@ -141,7 +152,32 @@ func run(args []string) error {
 	}
 
 	fmt.Fprintf(out, "total wall time: %v\n", time.Since(start).Round(time.Second))
+	if *metOut != "" {
+		if err := observer.WriteFile(*metOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metOut)
+	}
 	return nil
+}
+
+// setupObs builds the observer when telemetry was requested; nil (all
+// instrumentation disabled) when neither flag is set.
+func setupObs(addr, metricsOut string) (*obs.Observer, error) {
+	if addr == "" && metricsOut == "" {
+		return nil, nil
+	}
+	o := obs.New()
+	if addr != "" {
+		ring := obs.NewRingSink(4096)
+		o.SetSink(ring)
+		bound, err := obs.Serve(addr, o, ring)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s (/metrics /events /debug/pprof/)\n", bound)
+	}
+	return o, nil
 }
 
 func parseInts(s string) ([]int, error) {

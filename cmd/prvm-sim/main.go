@@ -7,10 +7,18 @@
 //
 //	prvm-sim [-fig all|3a|3b|5a|5b|6a|6b|7a|7b] [-reps n] [-seed s]
 //	         [-vms 1000,2000,3000] [-pms n]
+//	         [-obsaddr host:port] [-metrics-out file]
 //
 // The paper uses 100 repetitions; the default here is sized for a
 // small machine — pass -reps 100 (or set PRVM_REPS) to match the
 // paper.
+//
+// -obsaddr serves live telemetry over HTTP (/metrics JSON, /events
+// decision traces, /debug/pprof/) while the sweep runs; -obsaddr :0
+// picks an ephemeral port, printed on stderr. -metrics-out dumps the
+// final metrics snapshot as JSON for benchmark trajectory tracking.
+// Either flag enables instrumentation; with neither, the hot paths run
+// uninstrumented.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"strings"
 
 	"pagerankvm/internal/experiments"
+	"pagerankvm/internal/obs"
 )
 
 // figure maps a figure id to its trace and metric.
@@ -58,11 +67,17 @@ func run(args []string) error {
 		pms     = fs.Int("pms", 0, "PMs per Table II type (0 = auto)")
 		csvPath = fs.String("csv", "", "also write the sweep data as tidy CSV to this file")
 		series  = fs.String("series", "", "write one run's per-interval time series as CSV to this file (uses the first -vms count and the first figure's trace)")
+		obsAddr = fs.String("obsaddr", "", "serve telemetry (JSON metrics, decision traces, pprof) on this address; :0 picks a port")
+		metOut  = fs.String("metrics-out", "", "write the final telemetry snapshot as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	counts, err := parseInts(*vms)
+	if err != nil {
+		return err
+	}
+	observer, err := setupObs(*obsAddr, *metOut)
 	if err != nil {
 		return err
 	}
@@ -89,6 +104,7 @@ func run(args []string) error {
 			Reps:       *reps,
 			Seed:       *seed,
 			PMsPerType: *pms,
+			Obs:        observer,
 		})
 		if err != nil {
 			return err
@@ -112,6 +128,7 @@ func run(args []string) error {
 			Reps:       1,
 			Seed:       *seed,
 			PMsPerType: *pms,
+			Obs:        observer,
 		}, counts[0])
 		if err != nil {
 			return err
@@ -139,7 +156,34 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
+	if *metOut != "" {
+		if err := observer.WriteFile(*metOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metOut)
+	}
 	return nil
+}
+
+// setupObs builds the observer when telemetry was requested: -obsaddr
+// serves it live (with a ring of recent decision traces on /events),
+// -metrics-out snapshots it at exit. Returns nil — instrumentation
+// disabled — when neither flag is set.
+func setupObs(addr, metricsOut string) (*obs.Observer, error) {
+	if addr == "" && metricsOut == "" {
+		return nil, nil
+	}
+	o := obs.New()
+	if addr != "" {
+		ring := obs.NewRingSink(4096)
+		o.SetSink(ring)
+		bound, err := obs.Serve(addr, o, ring)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s (/metrics /events /debug/pprof/)\n", bound)
+	}
+	return o, nil
 }
 
 func defaultReps() int {

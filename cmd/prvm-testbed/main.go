@@ -6,9 +6,13 @@
 //
 //	prvm-testbed [-fig all|4a|4b|8] [-jobs 100,200,300] [-reps n]
 //	             [-steps n] [-pms n] [-tcp]
+//	             [-obsaddr host:port] [-metrics-out file]
 //
 // -tcp runs the control protocol over real loopback TCP sockets
-// instead of in-memory pipes.
+// instead of in-memory pipes. -obsaddr serves live telemetry (JSON
+// metrics, decision traces, pprof — including the controller's
+// per-request control-protocol latency histogram); -metrics-out dumps
+// the final snapshot as JSON.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"strings"
 
 	"pagerankvm/internal/experiments"
+	"pagerankvm/internal/obs"
 	"pagerankvm/internal/testbed"
 )
 
@@ -51,11 +56,17 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 1, "base random seed")
 		tcp     = fs.Bool("tcp", false, "use loopback TCP for the control protocol")
 		csvPath = fs.String("csv", "", "also write the sweep data as tidy CSV to this file")
+		obsAddr = fs.String("obsaddr", "", "serve telemetry (JSON metrics, decision traces, pprof) on this address; :0 picks a port")
+		metOut  = fs.String("metrics-out", "", "write the final telemetry snapshot as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	counts, err := parseInts(*jobs)
+	if err != nil {
+		return err
+	}
+	observer, err := setupObs(*obsAddr, *metOut)
 	if err != nil {
 		return err
 	}
@@ -80,6 +91,7 @@ func run(args []string) error {
 		NumPMs:    *pms,
 		Steps:     *steps,
 		Transport: transport,
+		Obs:       observer,
 	})
 	if err != nil {
 		return err
@@ -104,7 +116,32 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
 	}
+	if *metOut != "" {
+		if err := observer.WriteFile(*metOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *metOut)
+	}
 	return nil
+}
+
+// setupObs builds the observer when telemetry was requested; nil (all
+// instrumentation disabled) when neither flag is set.
+func setupObs(addr, metricsOut string) (*obs.Observer, error) {
+	if addr == "" && metricsOut == "" {
+		return nil, nil
+	}
+	o := obs.New()
+	if addr != "" {
+		ring := obs.NewRingSink(4096)
+		o.SetSink(ring)
+		bound, err := obs.Serve(addr, o, ring)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s (/metrics /events /debug/pprof/)\n", bound)
+	}
+	return o, nil
 }
 
 func parseInts(s string) ([]int, error) {

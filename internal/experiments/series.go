@@ -28,6 +28,9 @@ func RunTimeSeries(cfg SimConfig, numVMs int) (*TimeSeries, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Rank.Obs == nil {
+		cfg.Rank.Obs = cfg.Obs
+	}
 	reg, err := cat.BuildRegistry(cfg.Rank)
 	if err != nil {
 		return nil, err
@@ -59,12 +62,13 @@ func RunTimeSeries(cfg SimConfig, numVMs int) (*TimeSeries, error) {
 		Steps:  make(map[string][]sim.StepStats, len(AlgorithmNames)),
 	}
 	for _, name := range AlgorithmNames {
-		placer, evictor := buildAlgorithm(name, reg, cfg.Seed)
+		placer, evictor := buildAlgorithmObserved(name, reg, cfg.Seed, cfg.Obs)
 		cluster := cat.BuildCluster(cfg.PMsPerType)
 		var steps []sim.StepStats
 		simCfg := sim.Config{
 			UnderloadThreshold: cfg.Underload,
 			Observer:           func(s sim.StepStats) { steps = append(steps, s) },
+			Obs:                cfg.Obs,
 		}
 		run, err := sim.New(simCfg, cluster, placer, evictor, models, workloads)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 
 	"pagerankvm/internal/energy"
 	"pagerankvm/internal/metrics"
+	"pagerankvm/internal/obs"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/ranktable"
 	"pagerankvm/internal/sim"
@@ -41,6 +42,10 @@ type SimConfig struct {
 	// consolidation at that utilization threshold (an extension; the
 	// paper's setup leaves it off).
 	Underload float64
+	// Obs, when non-nil, receives runtime telemetry from every layer
+	// of the sweep: table builds, the PageRankVM placer, and the
+	// simulator (the -obsaddr/-metrics-out hook of cmd/prvm-sim).
+	Obs *obs.Observer
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -88,6 +93,9 @@ func RunSimSweep(cfg SimConfig) (*SimSweep, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Rank.Obs == nil {
+		cfg.Rank.Obs = cfg.Obs
+	}
 	reg, err := cat.BuildRegistry(cfg.Rank)
 	if err != nil {
 		return nil, err
@@ -122,12 +130,12 @@ func RunSimSweep(cfg SimConfig) (*SimSweep, error) {
 				return nil, err
 			}
 			for _, name := range AlgorithmNames {
-				placer, evictor := buildAlgorithm(name, reg, seed)
+				placer, evictor := buildAlgorithmObserved(name, reg, seed, cfg.Obs)
 				cluster := cat.BuildCluster(cfg.PMsPerType)
 				// Workloads are stateless inputs; a fresh copy of the
 				// VM structs is not needed because placement never
 				// mutates them, but each run needs its own cluster.
-				s, err := sim.New(sim.Config{UnderloadThreshold: cfg.Underload},
+				s, err := sim.New(sim.Config{UnderloadThreshold: cfg.Underload, Obs: cfg.Obs},
 					cluster, placer, evictor, models, workloads)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s n=%d rep=%d: %w", name, n, rep, err)
@@ -169,6 +177,12 @@ func (a *simAccum) add(r sim.Result) {
 // of the paper's four algorithms. Baselines use CloudSim's default
 // minimum-migration-time eviction, as the paper prescribes.
 func buildAlgorithm(name string, reg *ranktable.Registry, seed int64) (placement.Placer, placement.Evictor) {
+	return buildAlgorithmObserved(name, reg, seed, nil)
+}
+
+// buildAlgorithmObserved is buildAlgorithm with telemetry attached to
+// the PageRankVM placer (the baselines have no hot-path instruments).
+func buildAlgorithmObserved(name string, reg *ranktable.Registry, seed int64, o *obs.Observer) (placement.Placer, placement.Evictor) {
 	switch name {
 	case "FF":
 		return placement.FirstFit{}, placement.MMTEvictor{}
@@ -177,7 +191,7 @@ func buildAlgorithm(name string, reg *ranktable.Registry, seed int64) (placement
 	case "CompVM":
 		return placement.CompVM{}, placement.MMTEvictor{}
 	default: // PageRankVM
-		p := placement.NewPageRankVM(reg, placement.WithSeed(seed))
+		p := placement.NewPageRankVM(reg, placement.WithSeed(seed), placement.WithObserver(o))
 		return p, placement.RankEvictor{Placer: p}
 	}
 }

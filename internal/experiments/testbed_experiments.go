@@ -9,6 +9,7 @@ import (
 	"text/tabwriter"
 
 	"pagerankvm/internal/metrics"
+	"pagerankvm/internal/obs"
 	"pagerankvm/internal/ranktable"
 	"pagerankvm/internal/testbed"
 )
@@ -30,6 +31,10 @@ type TestbedConfig struct {
 	Transport testbed.Transport
 	// Rank tunes the Profile→score table.
 	Rank ranktable.Options
+	// Obs, when non-nil, receives runtime telemetry from the table
+	// builds, the placer and the controller (the -obsaddr/-metrics-out
+	// hook of cmd/prvm-testbed).
+	Obs *obs.Observer
 }
 
 func (c TestbedConfig) withDefaults() TestbedConfig {
@@ -69,6 +74,9 @@ type TestbedSweep struct {
 // count.
 func RunTestbedSweep(cfg TestbedConfig) (*TestbedSweep, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Rank.Obs == nil {
+		cfg.Rank.Obs = cfg.Obs
+	}
 	reg, err := testbed.NewRegistry(cfg.Rank)
 	if err != nil {
 		return nil, err
@@ -91,12 +99,12 @@ func RunTestbedSweep(cfg TestbedConfig) (*TestbedSweep, error) {
 				return nil, err
 			}
 			for _, name := range AlgorithmNames {
-				placer, evictor := buildAlgorithm(name, reg, seed)
+				placer, evictor := buildAlgorithmObserved(name, reg, seed, cfg.Obs)
 				h, err := testbed.Launch(cfg.NumPMs, cfg.Transport)
 				if err != nil {
 					return nil, err
 				}
-				ctrl, err := testbed.NewController(testbed.Config{Steps: cfg.Steps},
+				ctrl, err := testbed.NewController(testbed.Config{Steps: cfg.Steps, Obs: cfg.Obs},
 					h.Cluster(), placer, evictor, h.Conns(), jobs)
 				if err != nil {
 					return nil, err

@@ -69,7 +69,11 @@ func Summarize(xs []float64) Summary {
 	}
 }
 
-// String renders "median [p1, p99] (n=N)".
+// String renders "median [p1, p99] (n=N)", or "- (n=0)" when the
+// summary was computed over no repetitions.
 func (s Summary) String() string {
+	if s.N == 0 {
+		return "- (n=0)"
+	}
 	return fmt.Sprintf("%.2f [%.2f, %.2f] (n=%d)", s.Median, s.P1, s.P99, s.N)
 }

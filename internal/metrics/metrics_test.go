@@ -47,6 +47,31 @@ func TestPercentileDoesNotMutate(t *testing.T) {
 	}
 }
 
+func TestPercentileSingleElement(t *testing.T) {
+	xs := []float64{7}
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := Percentile(xs, p); got != 7 {
+			t.Errorf("Percentile(%v) = %v, want 7", p, got)
+		}
+	}
+}
+
+func TestPercentileAllEqual(t *testing.T) {
+	xs := []float64{3, 3, 3, 3, 3}
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := Percentile(xs, p); got != 3 {
+			t.Errorf("Percentile(%v) = %v, want 3", p, got)
+		}
+	}
+}
+
+func TestSummaryStringEmpty(t *testing.T) {
+	got := Summarize(nil).String()
+	if got != "- (n=0)" {
+		t.Errorf("empty Summary.String() = %q, want %q", got, "- (n=0)")
+	}
+}
+
 func TestEmptyInputs(t *testing.T) {
 	if !math.IsNaN(Percentile(nil, 50)) {
 		t.Error("Percentile(nil) not NaN")

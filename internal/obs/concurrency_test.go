@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// The satellite concurrency coverage: hammer every instrument kind
+// from many goroutines (run under -race via `make check`) and verify
+// exact totals — the CAS loops must not lose updates.
+
+func TestConcurrentCounters(t *testing.T) {
+	const goroutines, perG = 16, 10_000
+	o := New()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Resolve by name inside the goroutine: registration
+			// itself must also be race-free.
+			c := o.Counter("hammer.count")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Counter("hammer.count").Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestConcurrentHistogram(t *testing.T) {
+	const goroutines, perG = 8, 5_000
+	o := New()
+	bounds := ExpBuckets(1, 2, 10)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := o.Histogram("hammer.hist", bounds)
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*perG+i) / 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	s := o.Histogram("hammer.hist", bounds).Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	var bucketSum int64
+	for _, c := range s.Counts {
+		bucketSum += c
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", bucketSum, s.Count)
+	}
+	// Sum of 0/1000 .. (N-1)/1000 — exact because float adds of these
+	// magnitudes stay well inside 53 bits only approximately; allow a
+	// tiny relative tolerance for the CAS float accumulation order.
+	n := float64(goroutines * perG)
+	want := n * (n - 1) / 2 / 1000
+	if math.Abs(s.Sum-want) > 1e-6*want {
+		t.Fatalf("sum = %v, want ~%v", s.Sum, want)
+	}
+	if s.Min != 0 || s.Max != (n-1)/1000 {
+		t.Fatalf("min/max = %v/%v, want 0/%v", s.Min, s.Max, (n-1)/1000)
+	}
+}
+
+func TestConcurrentGaugeAndSnapshot(t *testing.T) {
+	const goroutines, perG = 8, 2_000
+	o := New()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gauge := o.Gauge("hammer.gauge")
+			for i := 0; i < perG; i++ {
+				gauge.Add(1)
+			}
+		}()
+	}
+	// Snapshot concurrently with the writers — must not race.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = o.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := o.Gauge("hammer.gauge").Value(); got != goroutines*perG {
+		t.Fatalf("gauge = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	const goroutines, perG = 8, 500
+	o := New()
+	ring := NewRingSink(64)
+	o.SetSink(ring)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				o.Emit(Event{Name: "e", Fields: []Field{F("i", i)}})
+			}
+		}()
+	}
+	wg.Wait()
+	if ring.Total() != goroutines*perG {
+		t.Fatalf("emitted %d, want %d", ring.Total(), goroutines*perG)
+	}
+	if len(ring.Events()) != 64 {
+		t.Fatalf("ring holds %d, want 64", len(ring.Events()))
+	}
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket value histogram safe for concurrent
+// writers. Bucket i counts observations v with bounds[i-1] < v <=
+// bounds[i]; one extra overflow bucket counts v > bounds[last]. Sum,
+// min and max are tracked exactly (CAS loops over float bits), so the
+// mean is exact and only the quantiles are bucket-interpolated.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	min    atomic.Uint64 // float64 bits, starts +Inf
+	max    atomic.Uint64 // float64 bits, starts -Inf
+}
+
+// NewHistogram builds a histogram over the given ascending bucket
+// upper bounds. Nil or empty bounds select DefSecondsBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefSecondsBuckets()
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	h := &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+	}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// DefSecondsBuckets is the default latency bucket set: exponential
+// from 1µs to ~8.4s (24 buckets, factor 2).
+func DefSecondsBuckets() []float64 { return ExpBuckets(1e-6, 2, 24) }
+
+// ExpBuckets returns n exponentially spaced bounds start, start*factor,
+// start*factor², ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n linearly spaced bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	addFloat(&h.sum, v)
+	casFloat(&h.min, v, func(cur float64) bool { return v < cur })
+	casFloat(&h.max, v, func(cur float64) bool { return v > cur })
+}
+
+// Count returns the number of observations; 0 on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the exact sum of observations; 0 on nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+func addFloat(a *atomic.Uint64, v float64) {
+	for {
+		old := a.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if a.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func casFloat(a *atomic.Uint64, v float64, better func(cur float64) bool) {
+	for {
+		old := a.Load()
+		if !better(math.Float64frombits(old)) {
+			return
+		}
+		if a.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// export: per-bucket counts plus derived mean and quantiles. (Bucket
+// counts are read without a global lock; concurrent writers can skew a
+// snapshot by a few in-flight observations, which is fine for
+// monitoring.)
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Mean   float64   `json:"mean"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot captures the histogram. Zero-valued on nil.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.Min = math.Float64frombits(h.min.Load())
+		s.Max = math.Float64frombits(h.max.Load())
+		s.Mean = s.Sum / float64(s.Count)
+		s.P50 = s.Quantile(0.50)
+		s.P95 = s.Quantile(0.95)
+		s.P99 = s.Quantile(0.99)
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
+// interpolation inside the bucket holding the target rank, clamped to
+// the exact observed [Min, Max]. NaN when empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	target := q * float64(s.Count)
+	cum := int64(0)
+	for i, c := range s.Counts {
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= target {
+			lo := s.Min
+			if i > 0 {
+				lo = math.Max(s.Min, s.Bounds[i-1])
+			}
+			hi := s.Max
+			if i < len(s.Bounds) {
+				hi = math.Min(s.Max, s.Bounds[i])
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return s.Max
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the observer over HTTP:
+//
+//	/metrics        indented JSON snapshot of every instrument
+//	/events         retained trace events (when sink is a *RingSink)
+//	/debug/vars     the standard expvar page (memstats, cmdline)
+//	/debug/pprof/*  the net/http/pprof profiles
+//
+// sink may be nil; pass the observer's RingSink to expose /events.
+func Handler(o *Observer, sink *RingSink) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.WriteJSON(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var events []Event
+		if sink != nil {
+			events = sink.Events()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(events)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "pagerankvm telemetry: /metrics /events /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Serve starts the telemetry endpoint on addr (":0" picks an ephemeral
+// port) in a background goroutine and returns the bound address. The
+// listener lives for the remaining process lifetime — the commands
+// using it exit when their run ends.
+func Serve(addr string, o *Observer, sink *RingSink) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(o, sink)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,259 @@
+// Package obs is the runtime telemetry layer of the reproduction:
+// lock-free counters and gauges, fixed-bucket histograms with
+// percentile export, and a span-style event sink for structured
+// placement-decision tracing.
+//
+// The design goal is that instrumentation costs ~nothing when
+// disabled. Every accessor is safe on a nil *Observer (it returns a
+// nil instrument) and every instrument method is safe on a nil
+// receiver (it is a single predictable branch), so hot paths hold
+// pre-resolved instrument pointers and never test "is telemetry on"
+// themselves:
+//
+//	met := struct{ scanned *obs.Counter }{scanned: o.Counter("x")}
+//	...
+//	met.scanned.Add(n) // no-op branch when o was nil
+//
+// Instruments are identified by dotted names ("placement.pms_scanned")
+// and registered on first use; the same name always resolves to the
+// same instrument, so independent layers share totals. See README.md
+// ("Observability") for the metrics catalog.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current total; 0 on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n. No-op on a nil receiver.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n. No-op on a nil receiver.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value; 0 on a nil receiver.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Observer is a registry of named instruments plus an optional event
+// sink. The zero value is not useful — construct with New. A nil
+// *Observer is the disabled state: all lookups return nil instruments.
+type Observer struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	sink atomic.Pointer[sinkHolder]
+}
+
+type sinkHolder struct{ s EventSink }
+
+// New returns an empty observer with no sink attached.
+func New() *Observer {
+	return &Observer{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil on a nil receiver.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c, ok := o.counters[name]
+	if !ok {
+		c = &Counter{}
+		o.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil on a nil receiver.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	g, ok := o.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		o.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds on first use (later callers get the
+// existing instrument regardless of bounds). Returns nil on a nil
+// receiver.
+func (o *Observer) Histogram(name string, bounds []float64) *Histogram {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	h, ok := o.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		o.hists[name] = h
+	}
+	return h
+}
+
+// SetSink attaches (or, with nil, detaches) the event sink.
+func (o *Observer) SetSink(s EventSink) {
+	if o == nil {
+		return
+	}
+	if s == nil {
+		o.sink.Store(nil)
+		return
+	}
+	o.sink.Store(&sinkHolder{s: s})
+}
+
+// TraceActive reports whether an event sink is attached — hot paths
+// use it to skip assembling event fields entirely when tracing is off.
+func (o *Observer) TraceActive() bool {
+	return o != nil && o.sink.Load() != nil
+}
+
+// Emit sends an event to the attached sink, stamping it if the caller
+// left Time zero. No-op when the observer is nil or no sink is set.
+func (o *Observer) Emit(e Event) {
+	if o == nil {
+		return
+	}
+	h := o.sink.Load()
+	if h == nil {
+		return
+	}
+	h.s.Emit(e.stamped())
+}
+
+// Snapshot is a point-in-time copy of every registered instrument,
+// shaped for JSON export.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures all instruments. Safe (and empty) on nil.
+func (o *Observer) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if o == nil {
+		return s
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for name, c := range o.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range o.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range o.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (o *Observer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(o.Snapshot()); err != nil {
+		return fmt.Errorf("obs: write json: %w", err)
+	}
+	return nil
+}
+
+// WriteFile dumps the snapshot to path — the -metrics-out hook of the
+// commands, for benchmark trajectory tracking.
+func (o *Observer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	defer f.Close()
+	return o.WriteJSON(f)
+}
+
+// Names returns the sorted instrument names of every kind, mainly for
+// tests and the text dump.
+func (o *Observer) Names() []string {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	names := make([]string, 0, len(o.counters)+len(o.gauges)+len(o.hists))
+	for n := range o.counters {
+		names = append(names, n)
+	}
+	for n := range o.gauges {
+		names = append(names, n)
+	}
+	for n := range o.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -9,6 +9,8 @@ package pagerank
 import (
 	"errors"
 	"math"
+
+	"pagerankvm/internal/obs"
 )
 
 // Defaults for Options, matching the paper (d = 0.85 "as generally
@@ -29,6 +31,9 @@ type Options struct {
 	Epsilon float64
 	// MaxIter bounds the iteration count as a safety net.
 	MaxIter int
+	// Obs, when non-nil, records iteration counts, per-iteration
+	// residuals and convergence outcomes (pagerank.* metrics).
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +57,10 @@ type Result struct {
 	Iterations int
 	// Converged reports whether Epsilon was reached within MaxIter.
 	Converged bool
+	// Residuals holds the max per-node score change of every
+	// iteration, in order — Residuals[Iterations-1] is the residual
+	// that ended the run (below Epsilon when Converged).
+	Residuals []float64
 }
 
 // Ranks runs the paper's Algorithm 1 lines 2-18 on the graph given as
@@ -108,12 +117,25 @@ func Ranks(succ [][]int32, opts Options) (Result, error) {
 			aux[i] = 0
 		}
 		res.Iterations = iter
+		res.Residuals = append(res.Residuals, maxDelta)
 		if maxDelta < o.Epsilon {
 			res.Converged = true
 			break
 		}
 	}
 	res.Ranks = pr
+	if o.Obs != nil {
+		o.Obs.Counter("pagerank.runs").Inc()
+		if res.Converged {
+			o.Obs.Counter("pagerank.converged_runs").Inc()
+		}
+		o.Obs.Histogram("pagerank.iterations", obs.ExpBuckets(1, 2, 16)).
+			Observe(float64(res.Iterations))
+		if len(res.Residuals) > 0 {
+			o.Obs.Histogram("pagerank.final_residual", obs.ExpBuckets(1e-14, 10, 15)).
+				Observe(res.Residuals[len(res.Residuals)-1])
+		}
+	}
 	return res, nil
 }
 

@@ -220,3 +220,28 @@ func TestRanksMaxIterCap(t *testing.T) {
 		t.Errorf("Iterations = %d, want 3", res.Iterations)
 	}
 }
+
+func TestRanksResiduals(t *testing.T) {
+	// A small cyclic graph so the power iteration actually runs a few
+	// rounds before converging.
+	g := [][]int32{{1, 2}, {2}, {0}}
+	res, err := Ranks(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(res.Residuals) != res.Iterations {
+		t.Fatalf("len(Residuals) = %d, want Iterations = %d", len(res.Residuals), res.Iterations)
+	}
+	last := res.Residuals[len(res.Residuals)-1]
+	if !(last < DefaultEpsilon) {
+		t.Errorf("final residual %v not below Epsilon %v", last, DefaultEpsilon)
+	}
+	for i, r := range res.Residuals {
+		if r < 0 || math.IsNaN(r) {
+			t.Errorf("Residuals[%d] = %v, want non-negative", i, r)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package placement
 import (
 	"math"
 	"sort"
+
+	"pagerankvm/internal/obs"
 )
 
 // Evictor selects which VM to migrate away from an overloaded PM.
@@ -81,6 +83,17 @@ func (e RankEvictor) SelectVictim(pm *PM, overloaded []int) (int, bool) {
 		}
 		if units < bestUnits || (units == bestUnits && score > bestScore) {
 			bestUnits, bestScore, bestID = units, score, h.VM.ID
+		}
+	}
+	if bestID >= 0 {
+		e.Placer.met.victimsSelected.Inc()
+		if e.Placer.obs.TraceActive() {
+			e.Placer.obs.Emit(obs.Event{Name: "placement.evict", Fields: []obs.Field{
+				obs.F("pm", pm.ID),
+				obs.F("victim", bestID),
+				obs.F("residual_score", bestScore),
+				obs.F("overloaded_dims", len(overloaded)),
+			}})
 		}
 	}
 	return bestID, bestID >= 0

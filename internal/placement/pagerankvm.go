@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pagerankvm/internal/obs"
 	"pagerankvm/internal/ranktable"
 	"pagerankvm/internal/resource"
 )
@@ -26,6 +27,39 @@ type PageRankVM struct {
 	// the whole used list, sample two random used PMs and pick the
 	// better one.
 	twoChoice bool
+
+	// obs and the pre-resolved met counters are nil without
+	// WithObserver; every instrument call is then a no-op branch.
+	obs *obs.Observer
+	met placeMetrics
+}
+
+// placeMetrics holds the placer's pre-resolved instruments so the
+// Algorithm 2 hot path never does name lookups.
+type placeMetrics struct {
+	placeCalls      *obs.Counter // placement.place_calls
+	pmsScanned      *obs.Counter // placement.pms_scanned
+	profilesScored  *obs.Counter // placement.profiles_enumerated
+	tiesBroken      *obs.Counter // placement.ties_broken
+	twoChoiceDraws  *obs.Counter // placement.two_choice_samples
+	pmsOpened       *obs.Counter // placement.pms_opened
+	noCapacity      *obs.Counter // placement.no_capacity
+	evictionsScored *obs.Counter // placement.evictions_scored
+	victimsSelected *obs.Counter // placement.victims_selected
+}
+
+func newPlaceMetrics(o *obs.Observer) placeMetrics {
+	return placeMetrics{
+		placeCalls:      o.Counter("placement.place_calls"),
+		pmsScanned:      o.Counter("placement.pms_scanned"),
+		profilesScored:  o.Counter("placement.profiles_enumerated"),
+		tiesBroken:      o.Counter("placement.ties_broken"),
+		twoChoiceDraws:  o.Counter("placement.two_choice_samples"),
+		pmsOpened:       o.Counter("placement.pms_opened"),
+		noCapacity:      o.Counter("placement.no_capacity"),
+		evictionsScored: o.Counter("placement.evictions_scored"),
+		victimsSelected: o.Counter("placement.victims_selected"),
+	}
 }
 
 var _ Placer = (*PageRankVM)(nil)
@@ -51,6 +85,19 @@ func (o seedOption) apply(p *PageRankVM) { p.rng = rand.New(rand.NewSource(o.see
 // WithSeed sets the seed of the tie-breaking (and 2-choice sampling)
 // generator; the default seed is 1.
 func WithSeed(seed int64) PageRankOption { return seedOption{seed: seed} }
+
+type observerOption struct{ o *obs.Observer }
+
+func (o observerOption) apply(p *PageRankVM) {
+	p.obs = o.o
+	p.met = newPlaceMetrics(o.o)
+}
+
+// WithObserver attaches a telemetry observer recording the placement.*
+// decision counters, and — when the observer has an event sink — a
+// structured trace event per Place call. A nil observer (the default)
+// keeps the instrumentation disabled at ~zero cost.
+func WithObserver(o *obs.Observer) PageRankOption { return observerOption{o: o} }
 
 // NewPageRankVM builds the placer over a registry holding one ranker
 // per PM type in the inventory.
@@ -82,9 +129,11 @@ func (p *PageRankVM) Name() string {
 
 // Place implements Placer (Algorithm 2).
 func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment, error) {
+	p.met.placeCalls.Inc()
 	candidates := c.UsedPMs()
 	if p.twoChoice && len(candidates) > 2 {
 		candidates = p.sample(candidates)
+		p.met.twoChoiceDraws.Inc()
 	}
 
 	var (
@@ -92,12 +141,16 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 		bestAssign resource.Assignment
 		bestScore  = -1.0
 		ties       = 0
+		scanned    = 0
+		profiles   = 0
 	)
 	for _, pm := range candidates {
+		scanned++
 		if pm == exclude || !pm.Fits(vm) {
 			continue
 		}
-		score, assign, err := p.bestOn(pm, vm)
+		score, assign, n, err := p.bestOn(pm, vm)
+		profiles += n
 		if err != nil {
 			return nil, nil, err
 		}
@@ -116,7 +169,13 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 			}
 		}
 	}
+	p.met.pmsScanned.Add(int64(scanned))
 	if bestPM != nil {
+		p.met.profilesScored.Add(int64(profiles))
+		if ties > 1 {
+			p.met.tiesBroken.Add(int64(ties - 1))
+		}
+		p.tracePlace(vm, bestPM, bestScore, scanned, profiles, ties, false)
 		return bestPM, bestAssign, nil
 	}
 	// Lines 17-24: fall back to an unused PM, choosing the
@@ -125,33 +184,60 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 		if pm == exclude || !pm.Fits(vm) {
 			continue
 		}
-		_, assign, err := p.bestOn(pm, vm)
+		_, assign, n, err := p.bestOn(pm, vm)
+		profiles += n
 		if err != nil {
 			return nil, nil, err
 		}
 		if assign != nil {
+			p.met.profilesScored.Add(int64(profiles))
+			p.met.pmsOpened.Inc()
+			p.tracePlace(vm, pm, 0, scanned, profiles, 0, true)
 			return pm, assign, nil
 		}
 	}
+	p.met.profilesScored.Add(int64(profiles))
+	p.met.noCapacity.Inc()
 	return nil, nil, ErrNoCapacity
 }
 
+// tracePlace emits one structured decision event; field assembly is
+// skipped entirely unless the observer has a sink attached.
+func (p *PageRankVM) tracePlace(vm *VM, pm *PM, score float64, scanned, profiles, ties int, opened bool) {
+	if !p.obs.TraceActive() {
+		return
+	}
+	p.obs.Emit(obs.Event{Name: "placement.place", Fields: []obs.Field{
+		obs.F("vm", vm.ID),
+		obs.F("vm_type", vm.Type),
+		obs.F("pm", pm.ID),
+		obs.F("pm_type", pm.Type),
+		obs.F("score", score),
+		obs.F("pms_scanned", scanned),
+		obs.F("profiles", profiles),
+		obs.F("ties", ties),
+		obs.F("opened_fresh_pm", opened),
+	}})
+}
+
 // bestOn scores every distinct accommodation of vm on pm and returns
-// the best (lines 6-7 of Algorithm 2).
-func (p *PageRankVM) bestOn(pm *PM, vm *VM) (float64, resource.Assignment, error) {
+// the best (lines 6-7 of Algorithm 2) plus the number of candidate
+// profiles enumerated.
+func (p *PageRankVM) bestOn(pm *PM, vm *VM) (float64, resource.Assignment, int, error) {
 	ranker, ok := p.rankers.Get(pm.Type)
 	if !ok {
-		return 0, nil, fmt.Errorf("placement: no ranker registered for PM type %q", pm.Type)
+		return 0, nil, 0, fmt.Errorf("placement: no ranker registered for PM type %q", pm.Type)
 	}
 	demand, ok := vm.DemandOn(pm.Type)
 	if !ok {
-		return 0, nil, nil
+		return 0, nil, 0, nil
 	}
 	var (
 		bestScore  = -1.0
 		bestAssign resource.Assignment
 	)
-	for _, pl := range resource.Placements(pm.Shape, pm.Used(), demand) {
+	placements := resource.Placements(pm.Shape, pm.Used(), demand)
+	for _, pl := range placements {
 		score, ok := ranker.Score(pl.Result)
 		if !ok {
 			continue
@@ -161,9 +247,9 @@ func (p *PageRankVM) bestOn(pm *PM, vm *VM) (float64, resource.Assignment, error
 		}
 	}
 	if bestAssign == nil {
-		return 0, nil, nil
+		return 0, nil, len(placements), nil
 	}
-	return bestScore, bestAssign, nil
+	return bestScore, bestAssign, len(placements), nil
 }
 
 // sample draws two distinct random used PMs (the 2-choice method).
@@ -181,6 +267,7 @@ func (p *PageRankVM) sample(used []*PM) []*PM {
 // removal yields the highest residual score. ok is false when the PM
 // type has no ranker or the profile is outside the table.
 func (p *PageRankVM) ScoreVictim(pm *PM, h Hosted) (float64, bool) {
+	p.met.evictionsScored.Inc()
 	ranker, ok := p.rankers.Get(pm.Type)
 	if !ok {
 		return 0, false

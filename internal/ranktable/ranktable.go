@@ -17,8 +17,10 @@ package ranktable
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"pagerankvm/internal/lattice"
+	"pagerankvm/internal/obs"
 	"pagerankvm/internal/pagerank"
 	"pagerankvm/internal/resource"
 )
@@ -49,6 +51,10 @@ type Table struct {
 	shape  *resource.Shape
 	scores map[string]float64
 	stats  BuildStats
+
+	// hits/misses count Score lookups when the table was built with
+	// Options.Obs; nil (free) otherwise.
+	hits, misses *obs.Counter
 }
 
 var _ Ranker = (*Table)(nil)
@@ -112,16 +118,34 @@ type Options struct {
 	// (for the BPRU ablation); ModeAbsorption ignores it, since the
 	// dead-end discount is inherent to the absorption value.
 	DisableBPRU bool
+	// Obs, when non-nil, records build cost (ranktable.* metrics),
+	// score-lookup hit/miss counts, and the Algorithm 1 convergence
+	// stats (pagerank.* metrics).
+	Obs *obs.Observer
 }
 
 // NewJoint builds the exact Profile→score table for shape under the
 // given VM-type set (Algorithm 1 on the full canonical lattice).
 func NewJoint(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Table, error) {
+	start := time.Now()
 	space, err := lattice.New(shape, vmTypes)
 	if err != nil {
 		return nil, fmt.Errorf("ranktable: joint lattice: %w", err)
 	}
-	return fromSpace(space, opts)
+	t, err := fromSpace(space, opts)
+	if err != nil {
+		return nil, err
+	}
+	if o := opts.Obs; o != nil {
+		o.Counter("ranktable.builds").Inc()
+		o.Counter("ranktable.nodes").Add(int64(t.stats.Nodes))
+		o.Counter("ranktable.edges").Add(int64(t.stats.Edges))
+		if t.stats.Converged {
+			o.Counter("ranktable.converged_builds").Inc()
+		}
+		o.Histogram("ranktable.build_seconds", nil).Observe(time.Since(start).Seconds())
+	}
+	return t, nil
 }
 
 func fromSpace(space *lattice.Space, opts Options) (*Table, error) {
@@ -153,12 +177,21 @@ func fromSpace(space *lattice.Space, opts Options) (*Table, error) {
 		if opts.Mode == ModeReversePR {
 			votes = reverse(fwd)
 		}
-		res, err = pagerank.Ranks(votes, opts.PageRank)
+		propts := opts.PageRank
+		if propts.Obs == nil {
+			propts.Obs = opts.Obs
+		}
+		res, err = pagerank.Ranks(votes, propts)
 		if err == nil {
 			scores = res.Ranks
 			if !opts.DisableBPRU {
 				var bpru []float64
+				bpruStart := time.Now()
 				bpru, err = pagerank.BPRU(fwd, utils)
+				if opts.Obs != nil {
+					opts.Obs.Histogram("pagerank.bpru_seconds", nil).
+						Observe(time.Since(bpruStart).Seconds())
+				}
 				if err == nil {
 					discounted := make([]float64, len(scores))
 					for i, r := range scores {
@@ -178,6 +211,8 @@ func fromSpace(space *lattice.Space, opts Options) (*Table, error) {
 	t := &Table{
 		shape:  space.Shape(),
 		scores: make(map[string]float64, space.Len()),
+		hits:   opts.Obs.Counter("ranktable.score_hits"),
+		misses: opts.Obs.Counter("ranktable.score_misses"),
 		stats: BuildStats{
 			Nodes:      space.Len(),
 			Edges:      space.Edges(),
@@ -203,16 +238,29 @@ func (t *Table) Len() int { return len(t.scores) }
 // Score returns the rank of profile p.
 func (t *Table) Score(p resource.Vec) (float64, bool) {
 	if len(p) != t.shape.NumDims() {
+		t.misses.Inc()
 		return 0, false
 	}
 	s, ok := t.scores[t.shape.Key(p)]
+	t.countLookup(ok)
 	return s, ok
 }
 
 // ScoreKey returns the rank for a canonical profile key.
 func (t *Table) ScoreKey(key string) (float64, bool) {
 	s, ok := t.scores[key]
+	t.countLookup(ok)
 	return s, ok
+}
+
+// countLookup tallies a lookup outcome; both counters are nil (and the
+// calls free) unless the table was built with Options.Obs.
+func (t *Table) countLookup(ok bool) {
+	if ok {
+		t.hits.Inc()
+	} else {
+		t.misses.Inc()
+	}
 }
 
 // Entry pairs a canonical profile with its score, for inspection and

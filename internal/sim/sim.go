@@ -24,7 +24,9 @@ import (
 	"time"
 
 	"pagerankvm/internal/energy"
+	"pagerankvm/internal/obs"
 	"pagerankvm/internal/placement"
+	"pagerankvm/internal/resource"
 	"pagerankvm/internal/trace"
 )
 
@@ -66,6 +68,11 @@ type Config struct {
 	// Observer, when non-nil, receives a snapshot after every
 	// monitoring interval — time-series output for plotting.
 	Observer func(StepStats)
+	// Obs, when non-nil, records runtime telemetry (sim.* counters
+	// and the per-decision placement latency histogram). Independent
+	// of Observer: that hook is per-step time-series data, this one is
+	// aggregate instrumentation.
+	Obs *obs.Observer
 }
 
 // StepStats is the per-interval snapshot passed to Config.Observer.
@@ -163,6 +170,57 @@ type Simulation struct {
 	vms     []*placement.VM          // arrivals at step 0
 	arrives map[int][]*placement.VM  // step -> arrivals (step > 0)
 	departs map[int][]int            // step -> departing vm ids
+	met     simMetrics
+}
+
+// simMetrics pre-resolves the simulator's instruments; all nil (and
+// every call a no-op branch) when Config.Obs is unset.
+type simMetrics struct {
+	ticks            *obs.Counter   // sim.ticks
+	placements       *obs.Counter   // sim.placements
+	rejected         *obs.Counter   // sim.rejected
+	overloads        *obs.Counter   // sim.overload_events
+	relieveMoves     *obs.Counter   // sim.relieve_migrations
+	consolidations   *obs.Counter   // sim.consolidations
+	consolidateMoves *obs.Counter   // sim.consolidate_migrations
+	failedMoves      *obs.Counter   // sim.failed_migrations
+	sloViolations    *obs.Counter   // sim.slo_violations
+	activePMs        *obs.Gauge     // sim.active_pms
+	placedVMs        *obs.Gauge     // sim.placed_vms
+	placeSeconds     *obs.Histogram // sim.place_seconds
+}
+
+func newSimMetrics(o *obs.Observer) simMetrics {
+	return simMetrics{
+		ticks:            o.Counter("sim.ticks"),
+		placements:       o.Counter("sim.placements"),
+		rejected:         o.Counter("sim.rejected"),
+		overloads:        o.Counter("sim.overload_events"),
+		relieveMoves:     o.Counter("sim.relieve_migrations"),
+		consolidations:   o.Counter("sim.consolidations"),
+		consolidateMoves: o.Counter("sim.consolidate_migrations"),
+		failedMoves:      o.Counter("sim.failed_migrations"),
+		sloViolations:    o.Counter("sim.slo_violations"),
+		activePMs:        o.Gauge("sim.active_pms"),
+		placedVMs:        o.Gauge("sim.placed_vms"),
+		placeSeconds:     o.Histogram("sim.place_seconds", nil),
+	}
+}
+
+// place routes every placement decision through one point so the
+// latency histogram sees initial allocation, arrivals, relief and
+// consolidation alike. Timing is skipped when telemetry is off.
+func (s *Simulation) place(vm *placement.VM, exclude *placement.PM) (*placement.PM, resource.Assignment, error) {
+	if s.met.placeSeconds == nil {
+		return s.placer.Place(s.cluster, vm, exclude)
+	}
+	start := time.Now()
+	pm, assign, err := s.placer.Place(s.cluster, vm, exclude)
+	s.met.placeSeconds.Observe(time.Since(start).Seconds())
+	if err == nil {
+		s.met.placements.Inc()
+	}
+	return pm, assign, err
 }
 
 // New validates and assembles a simulation.
@@ -193,6 +251,7 @@ func New(cfg Config, cluster *placement.Cluster, placer placement.Placer,
 		loads:   make(map[int]trace.Series, len(workloads)),
 		arrives: make(map[int][]*placement.VM),
 		departs: make(map[int][]int),
+		met:     newSimMetrics(cfg.Obs),
 	}
 	for _, w := range workloads {
 		if w.VM == nil {
@@ -230,9 +289,10 @@ func (s *Simulation) Run() (Result, error) {
 		orderer.OrderVMs(queue)
 	}
 	for _, vm := range queue {
-		pm, assign, err := s.placer.Place(s.cluster, vm, nil)
+		pm, assign, err := s.place(vm, nil)
 		if errors.Is(err, placement.ErrNoCapacity) {
 			res.Rejected++
+			s.met.rejected.Inc()
 			continue
 		}
 		if err != nil {
@@ -272,9 +332,10 @@ func (s *Simulation) tick(step int, meter *energy.Meter, res *Result) error {
 			}
 		}
 		for _, vm := range s.arrives[step] {
-			pm, assign, err := s.placer.Place(s.cluster, vm, nil)
+			pm, assign, err := s.place(vm, nil)
 			if errors.Is(err, placement.ErrNoCapacity) {
 				res.Rejected++
+				s.met.rejected.Inc()
 				continue
 			}
 			if err != nil {
@@ -286,6 +347,7 @@ func (s *Simulation) tick(step int, meter *energy.Meter, res *Result) error {
 		}
 	}
 
+	s.met.ticks.Inc()
 	var stats StepStats
 	stats.Step = step
 	migrationsBefore := res.Migrations
@@ -323,6 +385,7 @@ func (s *Simulation) tick(step int, meter *energy.Meter, res *Result) error {
 		if violated {
 			res.ViolatedPMSteps++
 			stats.ViolatedPMs++
+			s.met.sloViolations.Inc()
 		}
 		cpuUtil := total / (capUnits * float64(hi-lo))
 		meter.Accumulate(s.models[pm.Type], cpuUtil, s.cfg.Interval)
@@ -332,11 +395,14 @@ func (s *Simulation) tick(step int, meter *energy.Meter, res *Result) error {
 		if overloaded {
 			res.OverloadEvents++
 			stats.OverloadedPMs++
+			s.met.overloads.Inc()
 			s.relieve(pm, step, res)
 		} else if s.cfg.UnderloadThreshold > 0 && cpuUtil < s.cfg.UnderloadThreshold {
 			s.consolidate(pm, res)
 		}
 	}
+	s.met.activePMs.Set(int64(s.cluster.NumUsed()))
+	s.met.placedVMs.Set(int64(s.cluster.NumVMs()))
 	if s.cfg.Observer != nil {
 		stats.ActivePMs = s.cluster.NumUsed()
 		stats.PlacedVMs = s.cluster.NumVMs()
@@ -365,7 +431,7 @@ func (s *Simulation) consolidate(pm *placement.PM, res *Result) {
 		if err != nil {
 			return
 		}
-		dest, assign, err := s.placer.Place(s.cluster, h.VM, pm)
+		dest, assign, err := s.place(h.VM, pm)
 		if err != nil || !dest.Active() {
 			// Only consolidate onto already-running PMs; powering a
 			// fresh PM on would defeat the purpose.
@@ -377,8 +443,10 @@ func (s *Simulation) consolidate(pm *placement.PM, res *Result) {
 			return
 		}
 		res.Migrations++
+		s.met.consolidateMoves.Inc()
 	}
 	res.Consolidations++
+	s.met.consolidations.Inc()
 }
 
 // actualCPU returns the PM's per-CPU-dimension actual load in units
@@ -426,19 +494,22 @@ func (s *Simulation) relieve(pm *placement.PM, step int, res *Result) {
 		if err != nil {
 			return
 		}
-		dest, assign, err := s.placer.Place(s.cluster, h.VM, pm)
+		dest, assign, err := s.place(h.VM, pm)
 		if err != nil {
 			// No destination: the VM stays where it was.
 			s.rehost(pm, h)
 			res.FailedMigrations++
+			s.met.failedMoves.Inc()
 			return
 		}
 		if err := s.cluster.Host(dest, h.VM, assign); err != nil {
 			s.rehost(pm, h)
 			res.FailedMigrations++
+			s.met.failedMoves.Inc()
 			return
 		}
 		res.Migrations++
+		s.met.relieveMoves.Inc()
 	}
 }
 

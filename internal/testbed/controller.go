@@ -3,7 +3,9 @@ package testbed
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"pagerankvm/internal/obs"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/resource"
 	"pagerankvm/internal/trace"
@@ -32,6 +34,9 @@ type Config struct {
 	OverloadThreshold float64
 	// CPUGroup names the trace-driven group; default "cpu".
 	CPUGroup string
+	// Obs, when non-nil, records controller telemetry: per-request
+	// control-protocol latency and transport errors (testbed.*).
+	Obs *obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +76,27 @@ type Controller struct {
 	conns   map[int]Conn // pm id -> conn
 	jobs    []Job
 	traces  map[int]trace.Series
+	met     controllerMetrics
+}
+
+// controllerMetrics pre-resolves the controller's instruments; all nil
+// without Config.Obs.
+type controllerMetrics struct {
+	calls           *obs.Counter   // testbed.calls
+	transportErrors *obs.Counter   // testbed.transport_errors
+	migrations      *obs.Counter   // testbed.migrations
+	failedMoves     *obs.Counter   // testbed.failed_moves
+	callSeconds     *obs.Histogram // testbed.call_seconds
+}
+
+func newControllerMetrics(o *obs.Observer) controllerMetrics {
+	return controllerMetrics{
+		calls:           o.Counter("testbed.calls"),
+		transportErrors: o.Counter("testbed.transport_errors"),
+		migrations:      o.Counter("testbed.migrations"),
+		failedMoves:     o.Counter("testbed.failed_moves"),
+		callSeconds:     o.Histogram("testbed.call_seconds", nil),
+	}
 }
 
 // NewController assembles a controller. The cluster's PMs must match
@@ -94,6 +120,7 @@ func NewController(cfg Config, cluster *placement.Cluster, placer placement.Plac
 		conns:   conns,
 		jobs:    jobs,
 		traces:  make(map[int]trace.Series, len(jobs)),
+		met:     newControllerMetrics(cfg.Obs),
 	}
 	for _, j := range jobs {
 		if j.VM == nil {
@@ -213,6 +240,7 @@ func (c *Controller) handleStatus(pm *placement.PM, status *Status, step int, re
 	if err != nil {
 		// Nowhere to continue the job: restart it on the source.
 		res.FailedMoves++
+		c.met.failedMoves.Inc()
 		if assign := c.sourceAssign(pm, vm); assign != nil {
 			return c.startOn(pm, vm, assign)
 		}
@@ -222,6 +250,7 @@ func (c *Controller) handleStatus(pm *placement.PM, status *Status, step int, re
 		return err
 	}
 	res.Migrations++
+	c.met.migrations.Inc()
 	return nil
 }
 
@@ -293,6 +322,20 @@ func (c *Controller) tick(pmID, step int) (*Status, error) {
 
 func (c *Controller) call(pmID int, m Message) (Message, error) {
 	conn := c.conns[pmID]
+	c.met.calls.Inc()
+	if c.met.callSeconds == nil {
+		return c.roundTrip(conn, m)
+	}
+	start := time.Now()
+	reply, err := c.roundTrip(conn, m)
+	c.met.callSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		c.met.transportErrors.Inc()
+	}
+	return reply, err
+}
+
+func (c *Controller) roundTrip(conn Conn, m Message) (Message, error) {
 	if err := conn.Send(m); err != nil {
 		return Message{}, err
 	}
