@@ -1,14 +1,19 @@
 GO ?= go
 
-.PHONY: check vet build test race bench fmt
+.PHONY: check vet lint build test race bench fmt
 
-# The full pre-merge gate: static analysis, a clean build, and the
-# test suite under the race detector (the obs concurrency tests are
-# written for it).
-check: vet build race
+# The full pre-merge gate: static analysis (go vet plus the project's
+# own prvm-lint analyzers), a clean build, and the test suite under the
+# race detector (the obs concurrency tests are written for it).
+check: vet lint build race
 
 vet:
 	$(GO) vet ./...
+
+# Domain-invariant analyzers (detrand, floateq, obsnilguard, veclen,
+# lockscope) — see DESIGN.md §8. Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/prvm-lint ./...
 
 build:
 	$(GO) build ./...

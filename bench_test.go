@@ -16,6 +16,7 @@ import (
 	"pagerankvm/internal/experiments"
 	"pagerankvm/internal/mip"
 	"pagerankvm/internal/obs"
+	"pagerankvm/internal/opt"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/ranktable"
 	"pagerankvm/internal/resource"
@@ -293,7 +294,7 @@ func BenchmarkAblationBPRU(b *testing.B) {
 		{name: "reverse-pr-with-bpru", opts: ranktable.Options{Mode: ranktable.ModeReversePR}},
 		{name: "reverse-pr-no-bpru", opts: ranktable.Options{Mode: ranktable.ModeReversePR, DisableBPRU: true}},
 		{name: "absorption-exp8", opts: ranktable.Options{}},
-		{name: "absorption-exp1", opts: ranktable.Options{RewardExponent: 1}},
+		{name: "absorption-exp1", opts: ranktable.Options{RewardExponent: opt.F(1)}},
 	} {
 		b.Run(tt.name, func(b *testing.B) {
 			var deadEnd, clean float64

@@ -1,0 +1,80 @@
+// Command prvm-lint runs the domain-invariant static-analysis suite of
+// internal/analysis over the module — the multichecker of the merge
+// gate (`make lint`, folded into `make check`).
+//
+// Usage:
+//
+//	prvm-lint [-list] [-run regexp] [packages]
+//
+// With no package arguments it checks ./... . Exit status is 1 when
+// any analyzer reports a finding, 2 on loader errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"pagerankvm/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "only run analyzers whose name matches this regexp")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All
+	if *run != "" {
+		re, err := regexp.Compile(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prvm-lint: bad -run regexp: %v\n", err)
+			os.Exit(2)
+		}
+		var selected []*analysis.Analyzer
+		for _, a := range analyzers {
+			if re.MatchString(a.Name) {
+				selected = append(selected, a)
+			}
+		}
+		if len(selected) == 0 {
+			fmt.Fprintf(os.Stderr, "prvm-lint: -run %q matches no analyzer\n", *run)
+			os.Exit(2)
+		}
+		analyzers = selected
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prvm-lint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prvm-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prvm-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

@@ -36,7 +36,11 @@ func CrossRackTraffic(c *Cluster, topo *Topology, tr *Traffic) float64 {
 }
 
 // NewNetworkAwarePlacer wraps a PageRankVM placer with rack-affinity
-// tie-breaking (tolerance 0 selects the default 0.1).
+// tie-breaking (tolerance <= 0 selects the default 0.1).
 func NewNetworkAwarePlacer(inner *placement.PageRankVM, topo *Topology, tr *Traffic, tolerance float64) *NetworkAwarePlacer {
-	return &network.Placer{Inner: inner, Topo: topo, Traffic: tr, Tolerance: tolerance}
+	p := &network.Placer{Inner: inner, Topo: topo, Traffic: tr}
+	if tolerance > 0 {
+		p.Tolerance = &tolerance
+	}
+	return p
 }

@@ -1,0 +1,158 @@
+// Package analysis is the static-analysis layer of the reproduction: a
+// small, dependency-free re-implementation of the golang.org/x/tools
+// go/analysis vocabulary (Analyzer, Pass, Diagnostic) plus a package
+// loader, used to enforce domain invariants the Go compiler cannot see:
+//
+//   - detrand: no global math/rand state in non-test code — simulations
+//     and 2-choice sampling must draw from an injected seeded
+//     *rand.Rand so experiments stay reproducible (EXPERIMENTS.md).
+//   - floateq: no ==/!= on floating-point operands — PageRank scores
+//     and utilizations are floats; equality on them is either a bug or
+//     a disguised "unset" sentinel that belongs in an explicit option.
+//   - obsnilguard: every exported pointer-receiver method of
+//     internal/obs starts with a nil-receiver guard, preserving the
+//     "disabled instrumentation is one branch" contract.
+//   - veclen: resource.Vec values with provably different dimension
+//     counts must not meet in an element-wise operation — one dimension
+//     per physical core/disk is the paper's anti-collocation encoding.
+//   - lockscope: mutex Lock/RLock in internal/sim and internal/testbed
+//     must pair with a deferred Unlock in the same function.
+//
+// The x/tools module is deliberately not a dependency (the module has
+// none); the subset implemented here — an Analyzer struct with a Run
+// hook over a type-checked Pass, // want `regexp` fixture tests, and a
+// multichecker driver (cmd/prvm-lint) — is API-compatible enough that
+// migrating to the real go/analysis later is mechanical. See
+// DESIGN.md §8 and README.md ("Static analysis") for the catalog and
+// for how to add an analyzer.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker. It mirrors the x/tools
+// go/analysis Analyzer surface that the suite needs.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //prvmlint:allow directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description: first line is the invariant,
+	// the rest explains why it holds.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+	allow map[allowKey]bool
+}
+
+// Diagnostic is one finding, positioned for editor navigation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding at pos unless a //prvmlint:allow directive
+// on the same or the preceding line suppresses this analyzer there.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow[allowKey{position.Filename, position.Line, p.Analyzer.Name}] ||
+		p.allow[allowKey{position.Filename, position.Line - 1, p.Analyzer.Name}] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// allowDirective matches "//prvmlint:allow name1,name2 optional reason".
+var allowDirective = regexp.MustCompile(`^//prvmlint:allow\s+([a-z0-9_,]+)`)
+
+// collectAllows indexes every //prvmlint:allow directive of the package
+// by (file, line, analyzer). A directive suppresses findings on its own
+// line and on the line below it, so it works both as a trailing comment
+// and as a standalone line above the construct.
+func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
+	allow := make(map[allowKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(m[1], ",") {
+					allow[allowKey{pos.Filename, pos.Line, name}] = true
+				}
+			}
+		}
+	}
+	return allow
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings sorted by position. Analyzer errors (not findings) abort.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := collectAllows(pkg.Fset, pkg.Syntax)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+				allow:     allow,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Types.Path(), err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,115 @@
+// Package analysistest runs an analyzer over a GOPATH-style fixture
+// tree and checks its diagnostics against // want `regexp` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest on top of the
+// dependency-free internal/analysis framework.
+//
+// Fixture layout: <testdata>/src/<pkgpath>/*.go. A fixture line that
+// should trigger a finding carries a trailing comment:
+//
+//	rand.Intn(6) // want `global rand\.Intn`
+//
+// Every diagnostic must be matched by a want on its line and every
+// want must be matched by a diagnostic; both directions fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pagerankvm/internal/analysis"
+)
+
+// wantRe matches the expectation comment: // want `re` or // want "re",
+// with one or more patterns.
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+
+var wantPattern = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package from testdata/src/<path>, applies the
+// analyzer, and reports any mismatch between diagnostics and // want
+// expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	for _, path := range paths {
+		pkg, err := analysis.LoadFixture(srcRoot, path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		for _, d := range diags {
+			if !matchWant(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matching %q", a.Name, w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+func collectWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, raw := range wantPattern.FindAllString(m[1], -1) {
+					var pattern string
+					if strings.HasPrefix(raw, "`") {
+						pattern = strings.Trim(raw, "`")
+					} else {
+						unquoted, err := strconv.Unquote(raw)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+						}
+						pattern = unquoted
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pattern, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func matchWant(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pagerankvm/internal/analysis"
+	"pagerankvm/internal/analysis/analysistest"
+)
+
+// Each fixture package reproduces at least one violation shape that the
+// suite found (and that was fixed) in the real codebase, alongside the
+// idioms the analyzer must stay silent on.
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Detrand, "detrandtest")
+}
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Floateq, "floateqtest")
+}
+
+func TestObsnilguard(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Obsnilguard, "obs")
+}
+
+func TestVeclen(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Veclen, "veclentest")
+}
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Lockscope, "sim")
+}
+
+// TestSuiteCleanOnSelf runs every analyzer over the analysis package
+// itself via the module loader — a smoke test for Load and a guard
+// against the linters violating their own invariants.
+func TestSuiteCleanOnSelf(t *testing.T) {
+	pkgs, err := analysis.Load(".", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := analysis.Run(pkgs, analysis.All)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

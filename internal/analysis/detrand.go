@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Detrand forbids the global math/rand source in non-test code.
+//
+// The experiments pipeline (EXPERIMENTS.md) promises bit-for-bit
+// reproducible runs from a seed, and the 2-choice sampling and
+// tie-breaking paths of the placer consume randomness on the placement
+// hot path. A single call to a top-level math/rand function — which
+// draws from the process-global, externally seedable source — breaks
+// that promise silently. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf) stay legal: they are exactly how an injected seeded
+// *rand.Rand is built.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand functions; inject a seeded *rand.Rand instead",
+	Run:  runDetrand,
+}
+
+// detrandAllowed lists the math/rand (and /v2) package-level names that
+// construct explicit generators rather than consuming the global one.
+var detrandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runDetrand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pkgName.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true // type or var reference (rand.Rand, rand.Source)
+			}
+			if detrandAllowed[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"global rand.%s draws from the shared math/rand source; use an injected seeded *rand.Rand (see EXPERIMENTS.md reproducibility contract)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

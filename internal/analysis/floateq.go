@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floateq flags == and != between floating-point operands.
+//
+// PageRank scores, absorption values and utilizations are float64;
+// exact equality on them is either a latent bug (two mathematically
+// equal scores rarely compare equal after independent float
+// arithmetic) or a disguised "unset" sentinel (damping == 0), which
+// belongs in an explicit option (*float64 or a set-flag) instead.
+//
+// Two idioms stay legal: comparing an expression with itself (the
+// standard NaN test, x != x) and fully constant comparisons, which the
+// compiler folds. Anything else needs a //prvmlint:allow floateq
+// directive with a reason — and production code should not need one.
+var Floateq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= on floating-point operands; order them or make sentinels explicit",
+	Run:  runFloateq,
+}
+
+func runFloateq(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass.TypesInfo, be.X) && !isFloat(pass.TypesInfo, be.Y) {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[be]; ok && tv.Value != nil {
+				return true // constant-folded: no runtime float comparison
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x — the NaN idiom
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison (%s); use an ordered comparison, math.Abs tolerance, or an explicit set-flag/pointer option for sentinels",
+				be.Op, types.ExprString(be))
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

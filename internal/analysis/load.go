@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+}
+
+// Load loads and type-checks the non-test Go files of the packages
+// matching patterns (e.g. "./..."), resolved in dir's module. It shells
+// out to `go list -deps -export` so every dependency — standard library
+// and intra-module alike — is imported from compiler export data, which
+// works offline and never re-type-checks the world from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := &exportImporter{gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	})}
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{Fset: fset, Syntax: files, Types: tpkg, TypesInfo: info})
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves "unsafe" specially and everything else from
+// export data.
+type exportImporter struct{ gc types.Importer }
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.Import(path)
+}
+
+// LoadFixture loads the single fixture package in srcRoot/<path>
+// (GOPATH-style testdata layout). Imports resolve first against
+// sibling fixture packages under srcRoot, then against the standard
+// library, type-checked from source — fixtures have no export data.
+func LoadFixture(srcRoot, path string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		fset:    fset,
+		srcRoot: srcRoot,
+		std:     importer.ForCompiler(fset, "source", nil),
+		loaded:  make(map[string]*Package),
+	}
+	pkg, err := imp.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// fixtureImporter type-checks testdata packages recursively from
+// source, falling back to the standard library importer.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	srcRoot string
+	std     types.Importer
+	loaded  map[string]*Package
+}
+
+func (im *fixtureImporter) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(im.srcRoot, filepath.FromSlash(path)); isDir(dir) {
+		pkg, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return im.std.Import(path)
+}
+
+func (im *fixtureImporter) load(path string) (*Package, error) {
+	if pkg, ok := im.loaded[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(im.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture %q: %w", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixture %q: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: fixture %q: no Go files in %s", path, dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: im}
+	tpkg, err := conf.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check fixture %q: %w", path, err)
+	}
+	pkg := &Package{Fset: im.fset, Syntax: files, Types: tpkg, TypesInfo: info}
+	im.loaded[path] = pkg
+	return pkg, nil
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Lockscope requires every mutex acquisition in the simulator and the
+// testbed to pair with a deferred release in the same function.
+//
+// internal/sim and internal/testbed are the long-running, concurrent
+// parts of the system (the testbed controller and agents exchange
+// messages over goroutines; the simulator is driven under -race in the
+// merge gate). A Lock whose Unlock is manual leaks the lock on any
+// early return or panic between the two calls — the bug class that
+// deadlocks a datacenter controller instead of crashing it. The
+// analyzer flags sync.Mutex/RWMutex Lock and RLock calls with no
+// matching `defer <same receiver>.Unlock()` / `.RUnlock()` in the same
+// function body (function literals are separate functions).
+var Lockscope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "sim/testbed mutex Lock calls must have a deferred Unlock in the same function",
+	Run:  runLockscope,
+}
+
+// lockscopePkg reports whether the package is in the analyzer's scope:
+// the simulator and testbed packages (by import path in this module, by
+// package name in fixtures).
+func lockscopePkg(pkg *types.Package) bool {
+	path, name := pkg.Path(), pkg.Name()
+	return strings.HasSuffix(path, "internal/sim") || strings.HasSuffix(path, "internal/testbed") ||
+		name == "sim" || name == "testbed"
+}
+
+func runLockscope(pass *Pass) error {
+	if !lockscopePkg(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockscopeBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkLockscopeBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockPairs maps an acquire method to its release.
+var lockPairs = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+// checkLockscopeBody inspects one function body, skipping nested
+// function literals (they are their own scope and checked separately).
+func checkLockscopeBody(pass *Pass, body *ast.BlockStmt) {
+	type lock struct {
+		call *ast.CallExpr
+		recv string // receiver expression text, e.g. "s.mu"
+		name string // Lock or RLock
+	}
+	var locks []lock
+	deferred := make(map[string]bool) // "recv.Unlock" present as defer
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if recv, name, ok := syncLockCall(pass, s.Call); ok {
+				deferred[recv+"."+name] = true
+			}
+			return false // a deferred Lock() would be nonsense; don't double-count
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, name, ok := syncLockCall(pass, call); ok {
+					if _, isAcquire := lockPairs[name]; isAcquire {
+						locks = append(locks, lock{call: call, recv: recv, name: name})
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+
+	for _, l := range locks {
+		release := lockPairs[l.name]
+		if !deferred[l.recv+"."+release] {
+			pass.Reportf(l.call.Pos(),
+				"%s.%s() without `defer %s.%s()` in the same function; an early return or panic leaks the lock",
+				l.recv, l.name, l.recv, release)
+		}
+	}
+}
+
+// syncLockCall reports whether call is a sync.Mutex/RWMutex
+// Lock/RLock/Unlock/RUnlock method call, returning the receiver
+// expression text and the method name.
+func syncLockCall(pass *Pass, call *ast.CallExpr) (recv, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFunc || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Obsnilguard enforces the telemetry layer's nil-receiver contract.
+//
+// internal/obs promises that a nil *Observer (and every nil instrument
+// it hands out) is the disabled state: hot paths hold pre-resolved
+// instrument pointers and call them unconditionally, so every exported
+// pointer-receiver method must begin by dispatching on a nil receiver.
+// Two shapes satisfy the contract:
+//
+//	func (c *Counter) Add(n int64) {
+//		if c == nil { return }   // guard statement
+//		...
+//	}
+//
+//	func (o *Observer) TraceActive() bool {
+//		return o != nil && ...   // guard as the leftmost conjunct
+//	}
+//
+// The analyzer only fires in packages named "obs" — the contract is a
+// property of the telemetry layer, not a general style rule.
+var Obsnilguard = &Analyzer{
+	Name: "obsnilguard",
+	Doc:  "exported pointer-receiver methods in internal/obs must start with a nil-receiver guard",
+	Run:  runObsnilguard,
+}
+
+func runObsnilguard(pass *Pass) error {
+	if pass.Pkg.Name() != "obs" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receiver: cannot be nil
+			}
+			_ = star
+			recv := receiverName(fd)
+			if recv == "" || recv == "_" {
+				pass.Reportf(fd.Pos(),
+					"exported method %s has an unnamed pointer receiver and cannot nil-guard it; name the receiver and guard",
+					fd.Name.Name)
+				continue
+			}
+			if len(fd.Body.List) > 0 && isNilGuard(fd.Body.List[0], recv) {
+				continue
+			}
+			pass.Reportf(fd.Pos(),
+				"exported method (*%s).%s must start with `if %s == nil` (internal/obs nil-receiver contract)",
+				receiverTypeName(fd), fd.Name.Name, recv)
+		}
+	}
+	return nil
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	if star, ok := fd.Recv.List[0].Type.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return "?"
+}
+
+// isNilGuard reports whether stmt is a recognized nil-receiver guard
+// for the receiver named recv.
+func isNilGuard(stmt ast.Stmt, recv string) bool {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		// if recv == nil { ...; return }
+		if !isRecvNilCheck(s.Cond, recv, token.EQL) {
+			return false
+		}
+		if len(s.Body.List) == 0 {
+			return false
+		}
+		_, isReturn := s.Body.List[len(s.Body.List)-1].(*ast.ReturnStmt)
+		return isReturn
+	case *ast.ReturnStmt:
+		// return recv != nil && ...   (or: return recv == nil || ...)
+		if len(s.Results) != 1 {
+			return false
+		}
+		e := leftmostOperand(s.Results[0])
+		return isRecvNilCheck(e, recv, token.NEQ) || isRecvNilCheck(e, recv, token.EQL)
+	}
+	return false
+}
+
+// leftmostOperand descends the left spine of &&/|| chains.
+func leftmostOperand(e ast.Expr) ast.Expr {
+	for {
+		if p, ok := e.(*ast.ParenExpr); ok {
+			e = p.X
+			continue
+		}
+		be, ok := e.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.LAND && be.Op != token.LOR) {
+			return e
+		}
+		e = be.X
+	}
+}
+
+// isRecvNilCheck reports whether e is `recv <op> nil` (either operand
+// order) for op == or !=.
+func isRecvNilCheck(e ast.Expr, recv string, op token.Token) bool {
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return false
+	}
+	return (isIdent(be.X, recv) && isIdent(be.Y, "nil")) ||
+		(isIdent(be.X, "nil") && isIdent(be.Y, recv))
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,13 @@
+package analysis
+
+// All is the prvm-lint suite: every domain-invariant analyzer, in the
+// order diagnostics are attributed. cmd/prvm-lint runs all of them;
+// `make lint` (folded into `make check`) fails the merge gate on any
+// finding.
+var All = []*Analyzer{
+	Detrand,
+	Floateq,
+	Obsnilguard,
+	Veclen,
+	Lockscope,
+}

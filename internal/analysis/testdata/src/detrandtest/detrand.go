@@ -1,0 +1,27 @@
+// Package detrandtest exercises the detrand analyzer: top-level
+// math/rand functions draw from the shared global source and break the
+// reproducibility contract; injected *rand.Rand values are fine.
+package detrandtest
+
+import "math/rand"
+
+func globalDraws(vms []int) int {
+	rand.Seed(42)                             // want `global rand\.Seed`
+	rand.Shuffle(len(vms), func(i, j int) {}) // want `global rand\.Shuffle`
+	if rand.Float64() < 0.5 {                 // want `global rand\.Float64`
+		return rand.Intn(6) // want `global rand\.Intn`
+	}
+	return 0
+}
+
+func injected(rng *rand.Rand) int {
+	return rng.Intn(6) // method on an injected generator: fine
+}
+
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors are the fix, not the bug
+}
+
+// Type and variable references to the package are not draws.
+var _ rand.Source
+var defaultRNG *rand.Rand = rand.New(rand.NewSource(1))

@@ -1,0 +1,39 @@
+// Package floateqtest exercises the floateq analyzer. The first case
+// reproduces the pre-fix internal/ranktable bug verbatim: a float
+// zero-as-default sentinel that made an explicit RewardExponent of 0
+// indistinguishable from "use the default".
+package floateqtest
+
+type options struct {
+	Damping   float64
+	RewardExp float64
+}
+
+func damping(o options) float64 {
+	if o.Damping == 0 { // want `floating-point == comparison`
+		return 0.85
+	}
+	return o.Damping
+}
+
+func exactMatch(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func mixed32(x float32) bool {
+	return x == 1.0 // want `floating-point == comparison`
+}
+
+func isNaN(x float64) bool {
+	return x != x // the NaN idiom compares an expression to itself: fine
+}
+
+func intCompare(a, b int) bool { return a == b }
+
+const eps = 1e-9
+
+func constFolded() bool { return eps == 1e-9 } // evaluated at compile time: fine
+
+func deliberately(a float64) bool {
+	return a == 1.0 //prvmlint:allow floateq
+}

@@ -1,0 +1,41 @@
+// Package obs (fixture) exercises the obsnilguard analyzer: every
+// exported pointer-receiver method in the observability package must
+// open with a nil-receiver guard so a nil *Observer disables telemetry
+// instead of panicking inside the placement hot path.
+package obs
+
+type Counter struct{ v int64 }
+
+// The pre-fix internal/obs bug shape: Inc delegated to a nil-safe Add
+// without its own guard, so the analyzer cannot see the contract hold.
+func (c *Counter) Inc() { c.add(1) } // want `\(\*Counter\)\.Inc must start with .if c == nil`
+
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v += d
+}
+
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// A guard as the leftmost operand of the returned expression also
+// proves the contract.
+func (c *Counter) Positive() bool {
+	return c != nil && c.v > 0
+}
+
+func (c *Counter) Zero() bool {
+	return c == nil || c.v == 0
+}
+
+func (*Counter) Reset() {} // want `unnamed pointer receiver`
+
+// Value receivers cannot be nil; unexported methods are internal.
+func (c Counter) Snapshot() int64 { return c.v }
+func (c *Counter) add(d int64)    { c.v += d }

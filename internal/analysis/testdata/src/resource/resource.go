@@ -1,0 +1,26 @@
+// Package resource (fixture) mirrors the module's resource.Vec shape
+// for the veclen analyzer: a dimension vector with element-wise
+// methods that require equal lengths.
+package resource
+
+// Dims is a representative shape dimension count.
+const Dims = 4
+
+type Vec []int
+
+func (v Vec) Add(o Vec) Vec {
+	out := make(Vec, len(v))
+	for i := range v {
+		out[i] = v[i] + o[i]
+	}
+	return out
+}
+
+func (v Vec) LE(o Vec) bool {
+	for i := range v {
+		if v[i] > o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+// Package sim (fixture) exercises the lockscope analyzer: every mutex
+// acquisition in the simulator/testbed packages must pair with a
+// deferred release in the same function.
+package sim
+
+import "sync"
+
+type state struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *state) good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *state) manualUnlock() int {
+	s.mu.Lock() // want `s\.mu\.Lock\(\) without .defer s\.mu\.Unlock\(\)`
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+type registry struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+func (r *registry) goodRead(k int) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func (r *registry) wrongPair(k int) int {
+	r.mu.RLock() // want `r\.mu\.RLock\(\) without .defer r\.mu\.RUnlock\(\)`
+	defer r.mu.Unlock()
+	return r.m[k]
+}
+
+// Function literals are their own scope: a deferred unlock inside a
+// closure does not cover an acquisition outside it, and vice versa.
+func (s *state) closures(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.n++
+	}()
+
+	s.mu.Lock() // want `s\.mu\.Lock\(\) without .defer s\.mu\.Unlock\(\)`
+	f := func() {
+		defer s.mu.Unlock() // deferred in the closure, not in closures()
+	}
+	f()
+}

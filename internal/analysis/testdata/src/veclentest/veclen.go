@@ -1,0 +1,61 @@
+// Package veclentest exercises the veclen analyzer: element-wise
+// resource.Vec operations and index expressions whose operands have
+// provably different dimension counts.
+package veclentest
+
+import "resource"
+
+func literals() {
+	a := resource.Vec{1, 2}
+	b := resource.Vec{1, 2, 3}
+	_ = a.Add(b) // want `receiver has 2 dims, argument has 3`
+	_ = a.LE(b)  // want `receiver has 2 dims, argument has 3`
+
+	c := make(resource.Vec, 2)
+	_ = a.Add(c) // both two-dimensional: fine
+}
+
+func makeAndConst() {
+	wide := make(resource.Vec, resource.Dims)
+	narrow := resource.Vec{7}
+	_ = wide.Add(narrow) // want `receiver has 4 dims, argument has 1`
+	_ = wide.Add(make(resource.Vec, resource.Dims))
+}
+
+func keyedLiteral() {
+	sparse := resource.Vec{3: 9}                     // keyed element: length 4
+	_ = sparse.Add(resource.Vec{1, 2, 3})            // want `receiver has 4 dims, argument has 3`
+	_ = sparse.LE(make(resource.Vec, resource.Dims)) // fine
+}
+
+func indexing() {
+	v := resource.Vec{1, 2, 3}
+	_ = v[2] // in range: fine
+	_ = v[3] // want `index 3 out of range for a 3-dimension vector`
+}
+
+func conversion() {
+	raw := []int{1, 2}
+	v := resource.Vec(raw) // conversion of an unprovable operand
+	_ = v
+	w := resource.Vec(resource.Vec{1, 2, 3})
+	_ = w[5] // want `index 5 out of range for a 3-dimension vector`
+}
+
+// Reassignment, address-taking, and range variables invalidate the
+// proof — the analyzer stays silent rather than guessing.
+func conservative(vecs []resource.Vec) {
+	v := resource.Vec{1, 2}
+	v = make(resource.Vec, 9)
+	_ = v[5] // two assignments: length unprovable, no report
+
+	u := resource.Vec{1}
+	grow(&u)
+	_ = u[3] // address taken: no report
+
+	for _, e := range vecs {
+		_ = e.Add(resource.Vec{1, 2, 3}) // range variable: no report
+	}
+}
+
+func grow(v *resource.Vec) { *v = append(*v, 0) }

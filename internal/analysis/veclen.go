@@ -1,0 +1,274 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Veclen flags element-wise resource.Vec operations whose operands
+// provably have different dimension counts.
+//
+// A Vec carries one integer per physical dimension — per core, per
+// disk — and the anti-collocation encoding of the paper depends on
+// every Vec of a shape having exactly the shape's dimension count.
+// The element-wise methods (Add, Sub, LE, Equal) panic or silently
+// return false on mismatched lengths; both are programming errors that
+// should not wait for a run to surface. The analyzer proves lengths
+// for composite literals, make calls with constant size (including a
+// dim constant imported from another package), conversions of
+// provable operands, and local variables with a single provable
+// definition that are never reassigned or address-taken. When both
+// sides of an element-wise call (a one-Vec-argument method on a Vec
+// receiver) or an index expression are provable and disagree, it
+// reports.
+var Veclen = &Analyzer{
+	Name: "veclen",
+	Doc:  "flag resource.Vec operations with provably mismatched dimension counts",
+	Run:  runVeclen,
+}
+
+func runVeclen(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkVeclenFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkVeclenFunc analyzes one function body (function literals are
+// visited as part of the enclosing body — slice lengths don't change
+// across closure boundaries, so one environment is sound here because
+// invalidation already covers any reassignment wherever it occurs).
+func checkVeclenFunc(pass *Pass, body *ast.BlockStmt) {
+	env := buildLenEnv(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			checkElementwiseCall(pass, env, e)
+		case *ast.IndexExpr:
+			checkVecIndex(pass, env, e)
+		}
+		return true
+	})
+}
+
+// checkElementwiseCall reports method calls vec.M(other) where both the
+// Vec-typed receiver and the single Vec-typed argument have provable,
+// different lengths.
+func checkElementwiseCall(pass *Pass, env map[types.Object]int, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	if !isVecType(selection.Recv()) || !isVecType(exprType(pass, call.Args[0])) {
+		return
+	}
+	recvLen, ok1 := provableLen(pass, env, sel.X)
+	argLen, ok2 := provableLen(pass, env, call.Args[0])
+	if ok1 && ok2 && recvLen != argLen {
+		pass.Reportf(call.Pos(),
+			"resource.Vec dimension mismatch in %s: receiver has %d dims, argument has %d — vectors from different shapes",
+			sel.Sel.Name, recvLen, argLen)
+	}
+}
+
+// checkVecIndex reports v[i] where v is a Vec with provable length and
+// i is a constant outside [0, len).
+func checkVecIndex(pass *Pass, env map[types.Object]int, ix *ast.IndexExpr) {
+	if !isVecType(exprType(pass, ix.X)) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[ix.Index]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return
+	}
+	idx, exact := constant.Int64Val(tv.Value)
+	if !exact {
+		return
+	}
+	n, ok := provableLen(pass, env, ix.X)
+	if !ok {
+		return
+	}
+	if idx < 0 || idx >= int64(n) {
+		pass.Reportf(ix.Pos(),
+			"resource.Vec index %d out of range for a %d-dimension vector", idx, n)
+	}
+}
+
+// isVecType reports whether t is (an alias of, or pointer to) the
+// named type Vec declared in a package named "resource".
+func isVecType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Vec" && obj.Pkg() != nil && obj.Pkg().Name() == "resource"
+}
+
+func exprType(pass *Pass, e ast.Expr) types.Type {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// buildLenEnv maps local Vec variables to a proven length: the variable
+// must have exactly one defining assignment with a directly provable
+// RHS and must never be reassigned or address-taken afterwards.
+// Resolution iterates so chains like v := w propagate.
+func buildLenEnv(pass *Pass, body *ast.BlockStmt) map[types.Object]int {
+	defs := make(map[types.Object]ast.Expr) // candidate single definition
+	dead := make(map[types.Object]bool)     // invalidated variables
+
+	kill := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				dead[obj] = true
+			}
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE && len(s.Lhs) == len(s.Rhs) {
+				for i, lhs := range s.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					obj, ok := pass.TypesInfo.Defs[id]
+					// Defs maps type-switch symbolic variables to nil.
+					if !ok || obj == nil || !isVecType(obj.Type()) {
+						continue
+					}
+					if _, seen := defs[obj]; seen {
+						dead[obj] = true // redefinition (shadow reuse)
+						continue
+					}
+					defs[obj] = s.Rhs[i]
+				}
+			} else {
+				for _, lhs := range s.Lhs {
+					kill(lhs) // plain reassignment (incl. v = append(v, ...))
+				}
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				kill(s.X) // address taken: anything may mutate it
+			}
+		case *ast.RangeStmt:
+			kill(s.Key)
+			kill(s.Value)
+		}
+		return true
+	})
+
+	env := make(map[types.Object]int)
+	for changed := true; changed; {
+		changed = false
+		for obj, rhs := range defs {
+			if dead[obj] {
+				continue
+			}
+			if _, done := env[obj]; done {
+				continue
+			}
+			if n, ok := provableLen(pass, env, rhs); ok {
+				env[obj] = n
+				changed = true
+			}
+		}
+	}
+	for obj := range dead {
+		delete(env, obj)
+	}
+	return env
+}
+
+// provableLen computes the length of a Vec-valued expression when it
+// can be established syntactically.
+func provableLen(pass *Pass, env map[types.Object]int, e ast.Expr) (int, bool) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return provableLen(pass, env, x.X)
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(x); obj != nil {
+			if n, ok := env[obj]; ok {
+				return n, true
+			}
+		}
+		return 0, false
+	case *ast.CompositeLit:
+		if !isVecType(exprType(pass, x)) {
+			return 0, false
+		}
+		return compositeLen(pass, x)
+	case *ast.CallExpr:
+		// make(Vec, n[, cap]) with constant n.
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) >= 2 {
+			if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+				if tv, ok := pass.TypesInfo.Types[x.Args[1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+					if n, exact := constant.Int64Val(tv.Value); exact && n >= 0 {
+						return int(n), true
+					}
+				}
+			}
+			return 0, false
+		}
+		// Conversion Vec(expr) of a provable operand.
+		if len(x.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+				return provableLen(pass, env, x.Args[0])
+			}
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+// compositeLen computes the length of a slice composite literal,
+// honoring constant keyed elements (Vec{3: 1} has length 4).
+func compositeLen(pass *Pass, lit *ast.CompositeLit) (int, bool) {
+	n := 0
+	next := 0
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			tv, ok := pass.TypesInfo.Types[kv.Key]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+				return 0, false
+			}
+			k, exact := constant.Int64Val(tv.Value)
+			if !exact {
+				return 0, false
+			}
+			next = int(k) + 1
+		} else {
+			next++
+		}
+		if next > n {
+			n = next
+		}
+	}
+	return n, true
+}

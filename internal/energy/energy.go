@@ -30,7 +30,9 @@ func NewModel(name string, points map[float64]float64) (*Model, error) {
 		m.utils = append(m.utils, u)
 	}
 	sort.Float64s(m.utils)
-	if m.utils[0] != 0 || m.utils[len(m.utils)-1] != 1 {
+	// Power clamps u into [0,1], so the breakpoints must cover that
+	// interval: the first at or below 0, the last at or above 1.
+	if m.utils[0] > 0 || m.utils[len(m.utils)-1] < 1 {
 		return nil, fmt.Errorf("energy: model %q breakpoints must span [0,1]", name)
 	}
 	m.watts = make([]float64, len(m.utils))
@@ -52,13 +54,16 @@ func (m *Model) Power(u float64) float64 {
 	if u >= 1 {
 		return m.watts[len(m.watts)-1]
 	}
+	// SearchFloat64s returns the smallest i with utils[i] >= u; when
+	// the breakpoint sits strictly above u, interpolate from the one
+	// below, otherwise utils[i] is an exact hit.
 	i := sort.SearchFloat64s(m.utils, u)
-	if m.utils[i] == u {
-		return m.watts[i]
+	if m.utils[i] > u {
+		lo, hi := i-1, i
+		frac := (u - m.utils[lo]) / (m.utils[hi] - m.utils[lo])
+		return m.watts[lo] + frac*(m.watts[hi]-m.watts[lo])
 	}
-	lo, hi := i-1, i
-	frac := (u - m.utils[lo]) / (m.utils[hi] - m.utils[lo])
-	return m.watts[lo] + frac*(m.watts[hi]-m.watts[lo])
+	return m.watts[i]
 }
 
 // Breakpoints returns the (utilization, watts) pairs in ascending

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"pagerankvm/internal/opt"
 	"pagerankvm/internal/sim"
 	"pagerankvm/internal/trace"
 )
@@ -35,9 +36,9 @@ type WorkloadConfig struct {
 	Mix map[string]float64
 	// ChurnFraction in [0,1] is the share of tenants whose lease
 	// starts after the initial allocation and may end before the
-	// horizon (arrivals/departures during the day). Negative disables
-	// churn; 0 selects the default 0.5.
-	ChurnFraction float64
+	// horizon (arrivals/departures during the day). Nil selects the
+	// default 0.5; opt.F(0) disables churn.
+	ChurnFraction *float64
 	// MeanLeaseSteps is the mean lease duration of churning tenants;
 	// 0 selects Steps/3.
 	MeanLeaseSteps int
@@ -50,12 +51,11 @@ func (w WorkloadConfig) withDefaults() WorkloadConfig {
 	if w.Mix == nil {
 		w.Mix = VMMix()
 	}
-	switch {
-	case w.ChurnFraction < 0:
-		w.ChurnFraction = 0
-	case w.ChurnFraction == 0:
-		w.ChurnFraction = 0.5
+	churn := opt.Or(w.ChurnFraction, 0.5)
+	if churn < 0 {
+		churn = 0
 	}
+	w.ChurnFraction = &churn
 	if w.MeanLeaseSteps == 0 {
 		w.MeanLeaseSteps = w.Steps / 3
 	}
@@ -90,7 +90,7 @@ func (c *Catalog) GenWorkloads(gen trace.Generator, cfg WorkloadConfig) ([]sim.W
 
 		// The whole tenant shares one lease window.
 		start, end := 0, 0
-		if cfg.Steps > 1 && rng.Float64() < cfg.ChurnFraction {
+		if cfg.Steps > 1 && rng.Float64() < *cfg.ChurnFraction {
 			start = rng.Intn(cfg.Steps * 7 / 10)
 			lease := 1 + int(rng.ExpFloat64()*float64(cfg.MeanLeaseSteps))
 			if e := start + lease; e < cfg.Steps {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"pagerankvm/internal/opt"
 	"pagerankvm/internal/trace"
 )
 
@@ -83,13 +84,13 @@ func TestGenWorkloadsNoChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 	wl, err := cat.GenWorkloads(trace.Constant{Level: 0.5},
-		WorkloadConfig{NumVMs: 40, Seed: 2, Steps: 24, ChurnFraction: -1})
+		WorkloadConfig{NumVMs: 40, Seed: 2, Steps: 24, ChurnFraction: opt.F(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range wl {
 		if w.Start != 0 || w.End != 0 {
-			t.Fatalf("churn with ChurnFraction<0: [%d,%d)", w.Start, w.End)
+			t.Fatalf("churn with ChurnFraction=0: [%d,%d)", w.Start, w.End)
 		}
 	}
 }

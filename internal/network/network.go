@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pagerankvm/internal/opt"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/resource"
 )
@@ -126,8 +127,9 @@ type Placer struct {
 	Topo *Topology
 	// Traffic is the VM communication matrix.
 	Traffic *Traffic
-	// Tolerance is the admissible relative score loss (default 0.1).
-	Tolerance float64
+	// Tolerance is the admissible relative score loss; nil selects the
+	// default 0.1 (set with opt.F — opt.F(0) admits only exact ties).
+	Tolerance *float64
 }
 
 var _ placement.Placer = (*Placer)(nil)
@@ -160,10 +162,7 @@ func (p *Placer) Place(c *placement.Cluster, vm *placement.VM, exclude *placemen
 	}
 	baseRack, _ := p.Topo.Rack(basePM.ID)
 
-	tolerance := p.Tolerance
-	if tolerance == 0 {
-		tolerance = 0.1
-	}
+	tolerance := opt.Or(p.Tolerance, 0.1)
 	var (
 		bestPM     = basePM
 		bestAssign = baseAssign

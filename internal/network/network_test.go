@@ -3,6 +3,7 @@ package network
 import (
 	"testing"
 
+	"pagerankvm/internal/opt"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/ranktable"
 	"pagerankvm/internal/resource"
@@ -207,7 +208,7 @@ func TestPlacerToleranceGuardsQuality(t *testing.T) {
 	}
 	tr := TenantTraffic([][]int{{0, 1}}, 10)
 	p := netPlacer(t, topo, tr)
-	p.Tolerance = 1e-9 // effectively: only exact ties may move
+	p.Tolerance = opt.F(1e-9) // effectively: only exact ties may move
 
 	// vm0's rack-1 host is nearly full and badly shaped; rack-0 has a
 	// clean empty profile the inner placer will prefer.

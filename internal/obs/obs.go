@@ -33,8 +33,13 @@ import (
 // Counter is a monotonically increasing atomic counter.
 type Counter struct{ v atomic.Int64 }
 
-// Inc adds one.
-func (c *Counter) Inc() { c.Add(1) }
+// Inc adds one. No-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
 
 // Add adds n. No-op on a nil receiver.
 func (c *Counter) Add(n int64) {
@@ -191,16 +196,22 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures all instruments. Safe (and empty) on nil.
-func (o *Observer) Snapshot() Snapshot {
-	s := Snapshot{
+// emptySnapshot returns a Snapshot with every section allocated, the
+// shape a disabled (nil) observer exports.
+func emptySnapshot() Snapshot {
+	return Snapshot{
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramSnapshot{},
 	}
+}
+
+// Snapshot captures all instruments. Safe (and empty) on nil.
+func (o *Observer) Snapshot() Snapshot {
 	if o == nil {
-		return s
+		return emptySnapshot()
 	}
+	s := emptySnapshot()
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	for name, c := range o.counters {
@@ -215,25 +226,41 @@ func (o *Observer) Snapshot() Snapshot {
 	return s
 }
 
-// WriteJSON writes the snapshot as indented JSON.
+// WriteJSON writes the snapshot as indented JSON. A nil observer
+// writes the empty snapshot, so -metrics-out always yields valid JSON.
 func (o *Observer) WriteJSON(w io.Writer) error {
+	if o == nil {
+		return encodeSnapshot(w, emptySnapshot())
+	}
+	return encodeSnapshot(w, o.Snapshot())
+}
+
+func encodeSnapshot(w io.Writer, s Snapshot) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(o.Snapshot()); err != nil {
+	if err := enc.Encode(s); err != nil {
 		return fmt.Errorf("obs: write json: %w", err)
 	}
 	return nil
 }
 
 // WriteFile dumps the snapshot to path — the -metrics-out hook of the
-// commands, for benchmark trajectory tracking.
+// commands, for benchmark trajectory tracking. A nil observer writes
+// the empty snapshot.
 func (o *Observer) WriteFile(path string) error {
+	if o == nil {
+		return writeSnapshotFile(path, emptySnapshot())
+	}
+	return writeSnapshotFile(path, o.Snapshot())
+}
+
+func writeSnapshotFile(path string, s Snapshot) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("obs: %w", err)
 	}
 	defer f.Close()
-	return o.WriteJSON(f)
+	return encodeSnapshot(f, s)
 }
 
 // Names returns the sorted instrument names of every kind, mainly for

@@ -94,8 +94,11 @@ func NewRingSink(capacity int) *RingSink {
 	return &RingSink{buf: make([]Event, 0, capacity)}
 }
 
-// Emit implements EventSink.
+// Emit implements EventSink. No-op on a nil receiver.
 func (r *RingSink) Emit(e Event) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.buf) < cap(r.buf) {
@@ -107,8 +110,12 @@ func (r *RingSink) Emit(e Event) {
 	r.total++
 }
 
-// Events returns the retained events, oldest first.
+// Events returns the retained events, oldest first; nil on a nil
+// receiver.
 func (r *RingSink) Events() []Event {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]Event, 0, len(r.buf))
@@ -120,6 +127,9 @@ func (r *RingSink) Events() []Event {
 // Total returns how many events were ever emitted (including evicted
 // ones).
 func (r *RingSink) Total() int64 {
+	if r == nil {
+		return 0
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.total
@@ -134,8 +144,11 @@ type WriterSink struct {
 // NewWriterSink wraps w.
 func NewWriterSink(w io.Writer) *WriterSink { return &WriterSink{w: w} }
 
-// Emit implements EventSink.
+// Emit implements EventSink. No-op on a nil receiver.
 func (s *WriterSink) Emit(e Event) {
+	if s == nil {
+		return
+	}
 	b, err := json.Marshal(e)
 	if err != nil {
 		return

@@ -1,0 +1,24 @@
+// Package opt holds the optional-value helpers the config structs use
+// for float fields whose zero value selects a default.
+//
+// A plain float64 field cannot distinguish "caller did not set this"
+// from "caller set this to 0", so defaulting it forces a sentinel
+// comparison (damping == 0) that the floateq analyzer forbids on
+// floats. Optional float fields are *float64 instead: nil means unset
+// (take the default), a pointer — built inline with opt.F — means that
+// exact value, zero included.
+//
+//	cfg := pagerank.Options{Damping: opt.F(0.9)}
+//	damping := opt.Or(cfg.Damping, pagerank.DefaultDamping)
+package opt
+
+// F returns a pointer to v, for setting optional fields inline.
+func F(v float64) *float64 { return &v }
+
+// Or returns *p, or def when p is nil (the field was left unset).
+func Or(p *float64, def float64) float64 {
+	if p == nil {
+		return def
+	}
+	return *p
+}

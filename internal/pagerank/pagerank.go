@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"pagerankvm/internal/obs"
+	"pagerankvm/internal/opt"
 )
 
 // Defaults for Options, matching the paper (d = 0.85 "as generally
@@ -24,11 +25,14 @@ const (
 // Options configures the PageRank iteration. The zero value selects the
 // defaults above.
 type Options struct {
-	// Damping is the damping factor d in Equ. (12).
-	Damping float64
+	// Damping is the damping factor d in Equ. (12); nil selects
+	// DefaultDamping (set with opt.F, e.g. opt.F(0.9) — an explicit
+	// opt.F(0) runs undamped).
+	Damping *float64
 	// Epsilon is the convergence threshold: iteration stops once every
 	// node's score changes by less than Epsilon between iterations.
-	Epsilon float64
+	// Nil selects DefaultEpsilon.
+	Epsilon *float64
 	// MaxIter bounds the iteration count as a safety net.
 	MaxIter int
 	// Obs, when non-nil, records iteration counts, per-iteration
@@ -36,17 +40,25 @@ type Options struct {
 	Obs *obs.Observer
 }
 
-func (o Options) withDefaults() Options {
-	if o.Damping == 0 {
-		o.Damping = DefaultDamping
+// resolved carries the effective iteration parameters after defaulting.
+type resolved struct {
+	damping float64
+	epsilon float64
+	maxIter int
+	obs     *obs.Observer
+}
+
+func (o Options) withDefaults() resolved {
+	r := resolved{
+		damping: opt.Or(o.Damping, DefaultDamping),
+		epsilon: opt.Or(o.Epsilon, DefaultEpsilon),
+		maxIter: o.MaxIter,
+		obs:     o.Obs,
 	}
-	if o.Epsilon == 0 {
-		o.Epsilon = DefaultEpsilon
+	if r.maxIter == 0 {
+		r.maxIter = DefaultMaxIter
 	}
-	if o.MaxIter == 0 {
-		o.MaxIter = DefaultMaxIter
-	}
-	return o
+	return r
 }
 
 // Result carries the converged scores and iteration diagnostics.
@@ -72,10 +84,10 @@ func Ranks(succ [][]int32, opts Options) (Result, error) {
 	if n == 0 {
 		return Result{}, errors.New("pagerank: empty graph")
 	}
-	if o.Damping < 0 || o.Damping >= 1 {
+	if o.damping < 0 || o.damping >= 1 {
 		return Result{}, errors.New("pagerank: damping must be in [0,1)")
 	}
-	if o.Epsilon <= 0 {
+	if o.epsilon <= 0 {
 		return Result{}, errors.New("pagerank: epsilon must be positive")
 	}
 
@@ -86,7 +98,7 @@ func Ranks(succ [][]int32, opts Options) (Result, error) {
 	}
 
 	res := Result{}
-	for iter := 1; iter <= o.MaxIter; iter++ {
+	for iter := 1; iter <= o.maxIter; iter++ {
 		// Lines 7-12: distribute each node's rank to its successors.
 		for i := range succ {
 			out := succ[i]
@@ -99,11 +111,11 @@ func Ranks(succ [][]int32, opts Options) (Result, error) {
 			}
 		}
 		// Lines 13-16: damped update.
-		base := (1 - o.Damping) / float64(n)
+		base := (1 - o.damping) / float64(n)
 		sum := 0.0
 		maxDelta := 0.0
 		for i := range pr {
-			next := base + o.Damping*aux[i]
+			next := base + o.damping*aux[i]
 			sum += next
 			pr[i], aux[i] = next, pr[i] // aux now holds the previous score
 		}
@@ -118,21 +130,21 @@ func Ranks(succ [][]int32, opts Options) (Result, error) {
 		}
 		res.Iterations = iter
 		res.Residuals = append(res.Residuals, maxDelta)
-		if maxDelta < o.Epsilon {
+		if maxDelta < o.epsilon {
 			res.Converged = true
 			break
 		}
 	}
 	res.Ranks = pr
-	if o.Obs != nil {
-		o.Obs.Counter("pagerank.runs").Inc()
+	if o.obs != nil {
+		o.obs.Counter("pagerank.runs").Inc()
 		if res.Converged {
-			o.Obs.Counter("pagerank.converged_runs").Inc()
+			o.obs.Counter("pagerank.converged_runs").Inc()
 		}
-		o.Obs.Histogram("pagerank.iterations", obs.ExpBuckets(1, 2, 16)).
+		o.obs.Histogram("pagerank.iterations", obs.ExpBuckets(1, 2, 16)).
 			Observe(float64(res.Iterations))
 		if len(res.Residuals) > 0 {
-			o.Obs.Histogram("pagerank.final_residual", obs.ExpBuckets(1e-14, 10, 15)).
+			o.obs.Histogram("pagerank.final_residual", obs.ExpBuckets(1e-14, 10, 15)).
 				Observe(res.Residuals[len(res.Residuals)-1])
 		}
 	}

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"pagerankvm/internal/opt"
 )
 
 func TestRanksEmptyGraph(t *testing.T) {
@@ -15,13 +17,13 @@ func TestRanksEmptyGraph(t *testing.T) {
 
 func TestRanksBadOptions(t *testing.T) {
 	g := [][]int32{nil}
-	if _, err := Ranks(g, Options{Damping: 1.5}); err == nil {
+	if _, err := Ranks(g, Options{Damping: opt.F(1.5)}); err == nil {
 		t.Error("accepted damping >= 1")
 	}
-	if _, err := Ranks(g, Options{Damping: -0.5}); err == nil {
+	if _, err := Ranks(g, Options{Damping: opt.F(-0.5)}); err == nil {
 		t.Error("accepted negative damping")
 	}
-	if _, err := Ranks(g, Options{Epsilon: -1}); err == nil {
+	if _, err := Ranks(g, Options{Epsilon: opt.F(-1)}); err == nil {
 		t.Error("accepted negative epsilon")
 	}
 }
@@ -209,7 +211,7 @@ func TestScoresErrorPropagation(t *testing.T) {
 
 func TestRanksMaxIterCap(t *testing.T) {
 	g := [][]int32{{1}, {2}, nil}
-	res, err := Ranks(g, Options{Epsilon: 1e-300, MaxIter: 3})
+	res, err := Ranks(g, Options{Epsilon: opt.F(1e-300), MaxIter: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -61,8 +61,11 @@ func (FFDSum) OrderVMs(vms []*VM) {
 	}
 	sort.SliceStable(vms, func(i, j int) bool {
 		si, sj := size(vms[i]), size(vms[j])
-		if si != sj {
-			return si > sj
+		if si > sj {
+			return true
+		}
+		if si < sj {
+			return false
 		}
 		return vms[i].ID < vms[j].ID
 	})

@@ -21,6 +21,7 @@ import (
 
 	"pagerankvm/internal/lattice"
 	"pagerankvm/internal/obs"
+	"pagerankvm/internal/opt"
 	"pagerankvm/internal/pagerank"
 	"pagerankvm/internal/resource"
 )
@@ -112,8 +113,8 @@ type Options struct {
 	// ModeAbsorption.
 	Mode Mode
 	// RewardExponent is ModeAbsorption's terminal reward sharpening;
-	// 0 selects DefaultRewardExponent.
-	RewardExponent float64
+	// nil selects DefaultRewardExponent (set with opt.F).
+	RewardExponent *float64
 	// DisableBPRU skips the line-19 discount in the PageRank modes
 	// (for the BPRU ablation); ModeAbsorption ignores it, since the
 	// dead-end discount is inherent to the absorption value.
@@ -162,14 +163,8 @@ func fromSpace(space *lattice.Space, opts Options) (*Table, error) {
 	)
 	switch opts.Mode {
 	case ModeAbsorption:
-		damping := opts.PageRank.Damping
-		if damping == 0 {
-			damping = pagerank.DefaultDamping
-		}
-		rewardExp := opts.RewardExponent
-		if rewardExp == 0 {
-			rewardExp = DefaultRewardExponent
-		}
+		damping := opt.Or(opts.PageRank.Damping, pagerank.DefaultDamping)
+		rewardExp := opt.Or(opts.RewardExponent, DefaultRewardExponent)
 		scores, err = pagerank.AbsorptionValues(fwd, utils, damping, rewardExp)
 		res = pagerank.Result{Converged: true}
 	case ModeForwardPR, ModeReversePR:
@@ -278,8 +273,11 @@ func (t *Table) Top(n int) []Entry {
 		entries = append(entries, Entry{Profile: decodeKey(key), Score: score})
 	}
 	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Score != entries[j].Score {
-			return entries[i].Score > entries[j].Score
+		if entries[i].Score > entries[j].Score {
+			return true
+		}
+		if entries[i].Score < entries[j].Score {
+			return false
 		}
 		return entries[i].Profile.String() < entries[j].Profile.String()
 	})

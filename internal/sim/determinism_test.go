@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"pagerankvm/internal/obs"
+	"pagerankvm/internal/opt"
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+	"pagerankvm/internal/trace"
+)
+
+// runSeeded executes one full simulation — churned workloads, hot
+// Google-style traces, the PageRankVM placer with an injected seed —
+// and returns everything observable about it: the result, the counter
+// snapshot, and the structured decision trace (timestamps stripped;
+// they are the one legitimately non-deterministic field).
+func runSeeded(t *testing.T, seed int64) (Result, map[string]int64, []obs.Event) {
+	t.Helper()
+	table, err := ranktable.NewJoint(smallShape(), []resource.VMType{
+		smallVMType("[1,1]"), smallVMType("[1,1,1,1]"),
+	}, ranktable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ranktable.NewRegistry()
+	reg.Add(pmSmall, table)
+
+	o := obs.New()
+	ring := obs.NewRingSink(1 << 14)
+	o.SetSink(ring)
+	prvm := placement.NewPageRankVM(reg, placement.WithSeed(seed), placement.WithObserver(o))
+
+	const steps = 48
+	rng := rand.New(rand.NewSource(seed))
+	gen := trace.Google{Seed: seed, Mean: opt.F(0.55)}
+	var workloads []Workload
+	for i := 0; i < 24; i++ {
+		name := "[1,1]"
+		if rng.Intn(2) == 0 {
+			name = "[1,1,1,1]"
+		}
+		w := Workload{VM: newVM(i, name), Trace: gen.Series(i, steps)}
+		if rng.Intn(2) == 0 { // churn: late arrival, possibly early departure
+			w.Start = rng.Intn(steps / 2)
+			if rng.Intn(2) == 0 {
+				w.End = w.Start + 1 + rng.Intn(steps/2)
+			}
+		}
+		workloads = append(workloads, w)
+	}
+
+	cfg := shortCfg(steps)
+	cfg.Obs = o
+	s, err := New(cfg, newCluster(8), prvm, placement.RankEvictor{Placer: prvm}, models(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := ring.Events()
+	for i := range events {
+		events[i].Time = time.Time{}
+	}
+	return res, o.Snapshot().Counters, events
+}
+
+// TestSimulationDeterminism is the reproducibility contract end to
+// end: two runs with the same seed must agree bit for bit — same
+// Result, same telemetry counters, same placement-decision trace.
+// This is the invariant the detrand analyzer exists to protect.
+func TestSimulationDeterminism(t *testing.T) {
+	res1, counters1, events1 := runSeeded(t, 7)
+	res2, counters2, events2 := runSeeded(t, 7)
+
+	if !reflect.DeepEqual(res1, res2) {
+		t.Errorf("Result differs across identical seeded runs:\n  %+v\n  %+v", res1, res2)
+	}
+	if !reflect.DeepEqual(counters1, counters2) {
+		t.Errorf("telemetry counters differ across identical seeded runs:\n  %v\n  %v", counters1, counters2)
+	}
+	if len(events1) == 0 {
+		t.Fatal("no trace events captured; decision tracing is not wired")
+	}
+	if !reflect.DeepEqual(events1, events2) {
+		t.Fatalf("decision traces differ: %d vs %d events", len(events1), len(events2))
+	}
+
+	// And a different seed must actually steer the run — otherwise the
+	// assertions above are vacuous.
+	res3, _, _ := runSeeded(t, 8)
+	if reflect.DeepEqual(res1, res3) {
+		t.Log("seeds 7 and 8 produced identical results; widen the workload if this persists")
+	}
+}

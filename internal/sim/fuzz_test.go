@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"pagerankvm/internal/opt"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/ranktable"
 	"pagerankvm/internal/resource"
@@ -42,7 +43,7 @@ func TestSimulationInvariantsFuzz(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		const steps = 48
 		numVMs := 10 + rng.Intn(30)
-		gen := trace.Google{Seed: seed, Mean: 0.6}
+		gen := trace.Google{Seed: seed, Mean: opt.F(0.6)}
 
 		var workloads []Workload
 		expectForever := 0

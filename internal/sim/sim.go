@@ -25,6 +25,7 @@ import (
 
 	"pagerankvm/internal/energy"
 	"pagerankvm/internal/obs"
+	"pagerankvm/internal/opt"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/resource"
 	"pagerankvm/internal/trace"
@@ -54,8 +55,9 @@ type Config struct {
 	// Horizon is the simulated duration (paper: 24 h).
 	Horizon time.Duration
 	// OverloadThreshold flags a PM as overloaded when any CPU
-	// dimension's actual utilization exceeds it (paper: 0.9).
-	OverloadThreshold float64
+	// dimension's actual utilization exceeds it; nil selects
+	// DefaultOverloadThreshold (paper: 0.9). Set with opt.F.
+	OverloadThreshold *float64
 	// UnderloadThreshold, when positive, enables dynamic consolidation
 	// (Beloglazov-style, the usual CloudSim companion policy): an
 	// active PM whose aggregate CPU utilization falls below the
@@ -102,8 +104,8 @@ func (c Config) withDefaults() Config {
 	if c.Horizon == 0 {
 		c.Horizon = DefaultHorizon
 	}
-	if c.OverloadThreshold == 0 {
-		c.OverloadThreshold = DefaultOverloadThreshold
+	if c.OverloadThreshold == nil {
+		c.OverloadThreshold = opt.F(DefaultOverloadThreshold)
 	}
 	if c.CPUGroup == "" {
 		c.CPUGroup = DefaultCPUGroup
@@ -378,7 +380,7 @@ func (s *Simulation) tick(step int, meter *energy.Meter, res *Result) error {
 			if load[d-lo] >= capUnits-sloEpsilon {
 				violated = true
 			}
-			if load[d-lo] > s.cfg.OverloadThreshold*capUnits {
+			if load[d-lo] > (*s.cfg.OverloadThreshold)*capUnits {
 				overloaded = true
 			}
 		}
@@ -479,7 +481,7 @@ func (s *Simulation) relieve(pm *placement.PM, step int, res *Result) {
 		capUnits := float64(pm.Shape.Group(gi).Cap)
 		var overloadedDims []int
 		for d := lo; d < hi; d++ {
-			if load[d-lo] > s.cfg.OverloadThreshold*capUnits {
+			if load[d-lo] > (*s.cfg.OverloadThreshold)*capUnits {
 				overloadedDims = append(overloadedDims, d)
 			}
 		}

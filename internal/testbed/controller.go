@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pagerankvm/internal/obs"
+	"pagerankvm/internal/opt"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/resource"
 	"pagerankvm/internal/trace"
@@ -30,8 +31,8 @@ type Config struct {
 	// per interval = 1440).
 	Steps int
 	// OverloadThreshold mirrors the simulator's 90% per-dimension
-	// rule.
-	OverloadThreshold float64
+	// rule; nil selects 0.90 (set with opt.F).
+	OverloadThreshold *float64
 	// CPUGroup names the trace-driven group; default "cpu".
 	CPUGroup string
 	// Obs, when non-nil, records controller telemetry: per-request
@@ -43,8 +44,8 @@ func (c Config) withDefaults() Config {
 	if c.Steps == 0 {
 		c.Steps = 1440
 	}
-	if c.OverloadThreshold == 0 {
-		c.OverloadThreshold = 0.90
+	if c.OverloadThreshold == nil {
+		c.OverloadThreshold = opt.F(0.90)
 	}
 	if c.CPUGroup == "" {
 		c.CPUGroup = "cpu"
@@ -213,7 +214,7 @@ func (c *Controller) handleStatus(pm *placement.PM, status *Status, step int, re
 		if status.Load[d] >= capUnits-1e-9 {
 			violated = true
 		}
-		if status.Load[d] > c.cfg.OverloadThreshold*capUnits {
+		if status.Load[d] > (*c.cfg.OverloadThreshold)*capUnits {
 			overloadedDims = append(overloadedDims, d)
 		}
 	}

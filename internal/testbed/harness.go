@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pagerankvm/internal/opt"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/ranktable"
 	"pagerankvm/internal/resource"
@@ -124,8 +125,9 @@ type JobConfig struct {
 	Seed int64
 	// MeanLeaseSteps is the mean job duration; 0 selects Steps/8.
 	MeanLeaseSteps int
-	// WideShare is the fraction of [1,1,1,1] jobs; 0 selects 0.5.
-	WideShare float64
+	// WideShare is the fraction of [1,1,1,1] jobs; nil selects 0.5
+	// (set with opt.F).
+	WideShare *float64
 }
 
 // GenJobs builds the job stream: users submit 1-5 jobs together (with
@@ -138,11 +140,9 @@ func GenJobs(cat func(id int, vt resource.VMType) *placement.VM, cfg JobConfig) 
 	if cfg.MeanLeaseSteps == 0 {
 		cfg.MeanLeaseSteps = cfg.Steps / 12
 	}
-	if cfg.WideShare == 0 {
-		cfg.WideShare = 0.5
-	}
+	wideShare := opt.Or(cfg.WideShare, 0.5)
 	types := JobTypes()
-	gen := trace.Google{Seed: cfg.Seed, Mean: 0.5}
+	gen := trace.Google{Seed: cfg.Seed, Mean: opt.F(0.5)}
 	rng := rand.New(rand.NewSource(cfg.Seed * 31 / 7))
 
 	jobs := make([]Job, 0, cfg.NumJobs)
@@ -150,9 +150,9 @@ func GenJobs(cat func(id int, vt resource.VMType) *placement.VM, cfg JobConfig) 
 	for len(jobs) < cfg.NumJobs {
 		group := 1 + rng.Intn(5)
 		shared := trace.Bursts(cfg.Seed, 1<<24+user, cfg.Steps,
-			trace.BurstConfig{Prob: 0.03, Min: 0.8, Max: 1.0})
+			trace.BurstConfig{Prob: opt.F(0.03), Min: 0.8, Max: opt.F(1.0)})
 		vt := types[0]
-		if rng.Float64() < cfg.WideShare {
+		if rng.Float64() < wideShare {
 			vt = types[1]
 		}
 		start := rng.Intn(cfg.Steps * 8 / 10)

@@ -3,6 +3,8 @@ package trace
 import (
 	"math"
 	"testing"
+
+	"pagerankvm/internal/opt"
 )
 
 func TestBlend(t *testing.T) {
@@ -79,7 +81,7 @@ func TestBurstsDeterministicAndBounded(t *testing.T) {
 func TestBurstsDecay(t *testing.T) {
 	// A burst decays geometrically: after a peak the next samples are
 	// strictly smaller until the next burst.
-	s := Bursts(1, 1, 2000, BurstConfig{Prob: 0.005, Min: 0.9, Max: 0.9, Decay: 0.5})
+	s := Bursts(1, 1, 2000, BurstConfig{Prob: opt.F(0.005), Min: 0.9, Max: opt.F(0.9), Decay: opt.F(0.5)})
 	found := false
 	for i := 0; i+1 < len(s); i++ {
 		if s[i] == 0.9 && s[i+1] != 0.9 {

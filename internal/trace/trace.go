@@ -18,6 +18,8 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+
+	"pagerankvm/internal/opt"
 )
 
 // Series is one VM's utilization multipliers, one sample per interval,
@@ -91,10 +93,12 @@ type PlanetLab struct {
 	// Seed drives all randomness; two generators with equal seeds
 	// produce identical workloads.
 	Seed int64
-	// Mean is the long-run average utilization; default 0.35.
-	Mean float64
-	// Diurnal is the amplitude of the day/night swing; default 0.20.
-	Diurnal float64
+	// Mean is the long-run average utilization; nil selects 0.35
+	// (set with opt.F).
+	Mean *float64
+	// Diurnal is the amplitude of the day/night swing; nil selects
+	// 0.20.
+	Diurnal *float64
 	// StepsPerDay is the number of samples in one diurnal period;
 	// default 288 (5-minute samples over 24 h).
 	StepsPerDay int
@@ -107,14 +111,8 @@ func (PlanetLab) Name() string { return "planetlab" }
 
 // Series implements Generator.
 func (g PlanetLab) Series(vmID, steps int) Series {
-	mean := g.Mean
-	if mean == 0 {
-		mean = 0.35
-	}
-	diurnal := g.Diurnal
-	if diurnal == 0 {
-		diurnal = 0.20
-	}
+	mean := opt.Or(g.Mean, 0.35)
+	diurnal := opt.Or(g.Diurnal, 0.20)
 	perDay := g.StepsPerDay
 	if perDay == 0 {
 		perDay = 288
@@ -154,8 +152,9 @@ func (g PlanetLab) Series(vmID, steps int) Series {
 type Google struct {
 	// Seed drives all randomness.
 	Seed int64
-	// Mean is the long-run average utilization; default 0.30.
-	Mean float64
+	// Mean is the long-run average utilization; nil selects 0.30
+	// (set with opt.F).
+	Mean *float64
 }
 
 var _ Generator = Google{}
@@ -165,10 +164,7 @@ func (Google) Name() string { return "google" }
 
 // Series implements Generator.
 func (g Google) Series(vmID, steps int) Series {
-	mean := g.Mean
-	if mean == 0 {
-		mean = 0.30
-	}
+	mean := opt.Or(g.Mean, 0.30)
 	rng := rand.New(rand.NewSource(g.Seed*998244353 + int64(vmID)))
 
 	var (
@@ -244,41 +240,52 @@ func Overlay(a, b Series) Series {
 
 // BurstConfig parameterizes a Bursts series.
 type BurstConfig struct {
-	// Prob is the per-step probability that a burst starts; default
-	// 0.02.
-	Prob float64
-	// Min and Max bound a burst's initial height; defaults 0.5, 0.9.
-	Min, Max float64
-	// Decay is the per-step geometric decay of a burst; default 0.6.
-	Decay float64
+	// Prob is the per-step probability that a burst starts; nil
+	// selects 0.02 (set with opt.F).
+	Prob *float64
+	// Max bounds a burst's initial height; nil selects 0.9 and also
+	// defaults Min to 0.5.
+	Max *float64
+	// Min is the lower bound of a burst's initial height; only read
+	// when Max is set.
+	Min float64
+	// Decay is the per-step geometric decay of a burst; nil selects
+	// 0.6.
+	Decay *float64
 }
 
-func (c BurstConfig) withDefaults() BurstConfig {
-	if c.Prob == 0 {
-		c.Prob = 0.02
+// resolvedBursts carries the effective burst parameters.
+type resolvedBursts struct {
+	prob, min, max, decay float64
+}
+
+func (c BurstConfig) withDefaults() resolvedBursts {
+	r := resolvedBursts{
+		prob:  opt.Or(c.Prob, 0.02),
+		min:   c.Min,
+		decay: opt.Or(c.Decay, 0.6),
 	}
-	if c.Max == 0 {
-		c.Min, c.Max = 0.5, 0.9
+	if c.Max == nil {
+		r.min, r.max = 0.5, 0.9
+	} else {
+		r.max = *c.Max
 	}
-	if c.Decay == 0 {
-		c.Decay = 0.6
-	}
-	return c
+	return r
 }
 
 // Bursts generates a burst-only series (zero baseline): occasional
 // surges that decay geometrically. Deterministic in (seed, id).
 func Bursts(seed int64, id, steps int, cfg BurstConfig) Series {
-	cfg = cfg.withDefaults()
+	r := cfg.withDefaults()
 	rng := rand.New(rand.NewSource(seed*69061 + int64(id)))
 	out := make(Series, steps)
 	burst := 0.0
 	for i := range out {
-		if rng.Float64() < cfg.Prob {
-			burst = cfg.Min + (cfg.Max-cfg.Min)*rng.Float64()
+		if rng.Float64() < r.prob {
+			burst = r.min + (r.max-r.min)*rng.Float64()
 		}
 		out[i] = clamp01(burst)
-		burst *= cfg.Decay
+		burst *= r.decay
 	}
 	return out
 }
