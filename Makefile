@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench fmt
+.PHONY: check vet lint build test race bench bench-all fmt
 
 # The full pre-merge gate: static analysis (go vet plus the project's
 # own prvm-lint analyzers), a clean build, and the test suite under the
@@ -24,7 +24,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Hot-path benchmark harness: runs the PlaceLookup / SpaceWire /
+# RanksCSR micro-benchmarks and writes the fast-vs-legacy comparison
+# to BENCH_pr3.json (see README "Benchmarks").
 bench:
+	$(GO) run ./cmd/prvm-bench -out BENCH_pr3.json
+
+bench-all:
 	$(GO) test -bench . -benchmem ./...
 
 fmt:

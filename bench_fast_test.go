@@ -1,0 +1,132 @@
+package pagerankvm_test
+
+// Micro-benchmarks for the integer-indexed hot paths (see DESIGN.md
+// "Indexing & concurrency model"): id-indexed candidate scoring vs the
+// string-key enumeration path, serial vs parallel lattice wiring, and
+// the CSR PageRank core vs the slice-based entry point. cmd/prvm-bench
+// runs these and records the comparison in BENCH_pr3.json.
+
+import (
+	"testing"
+
+	"pagerankvm/internal/experiments"
+	"pagerankvm/internal/lattice"
+	"pagerankvm/internal/pagerank"
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+)
+
+// benchPlaceLookup measures one candidate evaluation of Algorithm 2's
+// inner loop — "score the best accommodation of this VM on this PM" —
+// against the production M3/C3 factored tables, with the id-indexed
+// fast path on or off.
+func benchPlaceLookup(b *testing.B, opts ...placement.PageRankOption) {
+	b.Helper()
+	cat, err := experiments.AmazonCatalog()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := cat.BuildRegistry(ranktable.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	placer := placement.NewPageRankVM(reg, append([]placement.PageRankOption{placement.WithSeed(1)}, opts...)...)
+	cluster := cat.BuildCluster(4)
+	// Load one PM with a realistic mixed profile.
+	for id := 0; id < 6; id++ {
+		vm, err := cat.NewVM(id, "m3.large")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pm, assign, err := placer.Place(cluster, vm, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cluster.Host(pm, vm, assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pm := cluster.UsedPMs()[0]
+	probe, err := cat.NewVM(10_000, "c3.xlarge")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, ok := placer.ScoreOn(pm, probe); !ok {
+		b.Fatal("probe does not fit the loaded PM")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := placer.ScoreOn(pm, probe); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+func BenchmarkPlaceLookup(b *testing.B) {
+	b.Run("fast", func(b *testing.B) { benchPlaceLookup(b) })
+	b.Run("legacy", func(b *testing.B) { benchPlaceLookup(b, placement.WithoutFastPath()) })
+}
+
+// BenchmarkSpaceWire builds the heaviest production sub-lattice (the
+// M3 disk group: C(35,4) = 52360 nodes) serially and with all cores.
+func BenchmarkSpaceWire(b *testing.B) {
+	shape := resource.MustShape(resource.Group{Name: "disk", Dims: 4, Cap: 31})
+	types := []resource.VMType{
+		resource.NewVMType("m3.large", resource.Demand{Group: "disk", Units: []int{5}}),
+		resource.NewVMType("m3.xlarge", resource.Demand{Group: "disk", Units: []int{5, 5}}),
+		resource.NewVMType("m3.2xlarge", resource.Demand{Group: "disk", Units: []int{10, 10}}),
+	}
+	run := func(b *testing.B, workers int) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := lattice.NewSpace(shape, types, lattice.Options{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Edges() == 0 {
+				b.Fatal("no edges wired")
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkRanksCSR compares the PageRank iteration over a prebuilt
+// CSR graph with the per-node-slice entry point (which must flatten
+// per call) on the paper's example lattice scaled up.
+func BenchmarkRanksCSR(b *testing.B) {
+	shape := resource.MustShape(resource.Group{Name: "cpu", Dims: 6, Cap: 6})
+	types := []resource.VMType{
+		resource.NewVMType("[1,1]", resource.Demand{Group: "cpu", Units: []int{1, 1}}),
+		resource.NewVMType("[2,2,2]", resource.Demand{Group: "cpu", Units: []int{2, 2, 2}}),
+	}
+	s, err := lattice.NewSpace(shape, types, lattice.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := pagerank.CSR{Offsets: s.SuccOffsets(), Edges: s.SuccArena()}
+	succ := make([][]int32, s.Len())
+	for i := range succ {
+		succ[i] = s.Succ(i)
+	}
+	b.Run("slices", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pagerank.Ranks(succ, pagerank.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pagerank.RanksCSR(g, pagerank.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

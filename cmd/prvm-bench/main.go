@@ -1,0 +1,238 @@
+// Command prvm-bench runs the repo's hot-path micro-benchmarks and
+// writes a machine-readable summary to a JSON file (BENCH_pr3.json by
+// default). It shells out to `go test -bench`, parses the standard
+// benchmark output, and pairs up before/after variants — fast vs
+// legacy, csr vs slices, parallel vs serial — into explicit speedup
+// comparisons so a reviewer (or CI) can assert on the ratios.
+//
+// Usage:
+//
+//	prvm-bench [-bench regex] [-pkg ./...] [-benchtime 1s] [-count 1]
+//	           [-out BENCH_pr3.json]
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "prvm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPer  *float64           `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// comparison relates a baseline variant to its optimized counterpart
+// under the same parent benchmark.
+type comparison struct {
+	Benchmark string   `json:"benchmark"`
+	Baseline  string   `json:"baseline"`
+	Candidate string   `json:"candidate"`
+	SpeedupX  float64  `json:"speedup_x"` // baseline ns/op divided by candidate ns/op
+	BaseNs    float64  `json:"baseline_ns_per_op"`
+	CandNs    float64  `json:"candidate_ns_per_op"`
+	BaseAlloc *float64 `json:"baseline_allocs_per_op,omitempty"`
+	CandAlloc *float64 `json:"candidate_allocs_per_op,omitempty"`
+}
+
+type report struct {
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"num_cpu"`
+	Timestamp  string       `json:"timestamp"`
+	BenchRegex string       `json:"bench_regex"`
+	Results    []result     `json:"results"`
+	Compare    []comparison `json:"comparisons"`
+}
+
+// variantPairs names the (baseline, candidate) sub-benchmark pairs the
+// harness knows how to relate. Order matters only for the report.
+var variantPairs = [][2]string{
+	{"legacy", "fast"},
+	{"slices", "csr"},
+	{"serial", "parallel"},
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("prvm-bench", flag.ContinueOnError)
+	var (
+		benchRe   = fs.String("bench", "BenchmarkPlaceLookup|BenchmarkSpaceWire|BenchmarkRanksCSR", "benchmark regex passed to go test -bench")
+		pkg       = fs.String("pkg", ".", "package pattern to benchmark")
+		benchtime = fs.String("benchtime", "", "go test -benchtime value (empty = default)")
+		count     = fs.Int("count", 1, "go test -count value")
+		out       = fs.String("out", "BENCH_pr3.json", "output JSON file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cmdArgs := []string{"test", "-run", "^$", "-bench", *benchRe, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		cmdArgs = append(cmdArgs, "-benchtime", *benchtime)
+	}
+	cmdArgs = append(cmdArgs, *pkg)
+
+	fmt.Fprintf(os.Stderr, "prvm-bench: go %s\n", strings.Join(cmdArgs, " "))
+	cmd := exec.Command("go", cmdArgs...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	os.Stderr.Write(buf.Bytes())
+
+	results, err := parseBench(&buf)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", *benchRe)
+	}
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		BenchRegex: *benchRe,
+		Results:    results,
+		Compare:    pairUp(results),
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "prvm-bench: wrote %s (%d results, %d comparisons)\n", *out, len(rep.Results), len(rep.Compare))
+	for _, c := range rep.Compare {
+		fmt.Fprintf(os.Stderr, "  %s: %s %.4gx faster than %s (%.4g vs %.4g ns/op)\n",
+			c.Benchmark, c.Candidate, c.SpeedupX, c.Baseline, c.CandNs, c.BaseNs)
+	}
+	return nil
+}
+
+// parseBench reads standard `go test -bench` output: lines of the form
+//
+//	BenchmarkName/sub-8   1000   53.70 ns/op   0 B/op   0 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parseBench(r *bytes.Buffer) ([]result, error) {
+	var results []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." line without a count (e.g. a log line)
+		}
+		res := result{Name: trimProcSuffix(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: bad value %q", fields[0], fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				b := v
+				res.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				res.AllocsPer = &a
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		results = append(results, res)
+	}
+	return results, sc.Err()
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS from a benchmark name
+// ("BenchmarkX/fast-8" → "BenchmarkX/fast").
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// pairUp matches known baseline/candidate sub-benchmark variants under
+// the same parent and computes their speedup ratios. With -count > 1
+// the last sample of each name wins.
+func pairUp(results []result) []comparison {
+	byName := make(map[string]result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var comps []comparison
+	seen := map[string]bool{}
+	for _, r := range results {
+		i := strings.LastIndex(r.Name, "/")
+		if i < 0 {
+			continue
+		}
+		parent := r.Name[:i]
+		if seen[parent] {
+			continue
+		}
+		for _, pair := range variantPairs {
+			base, ok1 := byName[parent+"/"+pair[0]]
+			cand, ok2 := byName[parent+"/"+pair[1]]
+			if !ok1 || !ok2 || cand.NsPerOp <= 0 {
+				continue
+			}
+			seen[parent] = true
+			comps = append(comps, comparison{
+				Benchmark: parent,
+				Baseline:  pair[0],
+				Candidate: pair[1],
+				SpeedupX:  base.NsPerOp / cand.NsPerOp,
+				BaseNs:    base.NsPerOp,
+				CandNs:    cand.NsPerOp,
+				BaseAlloc: base.AllocsPer,
+				CandAlloc: cand.AllocsPer,
+			})
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Benchmark < comps[j].Benchmark })
+	return comps
+}

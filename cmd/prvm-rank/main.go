@@ -35,6 +35,7 @@ func run(args []string) error {
 		pmType  = fs.String("pm", "", "build the factored table of a Table II PM type instead")
 		save    = fs.String("save", "", "serialize the example table to this file")
 		compare = fs.Bool("compare", true, "print the Figure 2 quality comparisons")
+		workers = fs.Int("workers", 0, "goroutines wiring lattice edges (0 = GOMAXPROCS; output is identical for any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,6 +44,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	opts.WireWorkers = *workers
 
 	if *pmType != "" {
 		return describePMType(*pmType, opts)

@@ -7,22 +7,46 @@
 //
 // Adding a VM strictly increases total used units, so the graph is a
 // DAG layered by total usage.
+//
+// The successor graph is stored in CSR form (one offsets arena, one
+// edge arena) so the PageRank/absorption iteration streams it without
+// pointer chasing, and — alongside the union graph — the space keeps
+// per-VM-type labeled successor lists with one representative
+// anti-collocation assignment per edge. The labeled lists are what
+// turn Algorithm 2's candidate scoring into an O(1) table lookup (see
+// internal/ranktable and DESIGN.md "Indexing & concurrency model").
 package lattice
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"pagerankvm/internal/resource"
 )
 
 // Space is the enumerated profile graph for one PM shape and one VM
-// type set. It is immutable after New.
+// type set. It is immutable after New and safe for concurrent readers.
 type Space struct {
 	shape *resource.Shape
-	nodes []resource.Vec // canonical profiles, layer order (by Sum)
+	nodes []resource.Vec // canonical profiles, lexicographic order
 	index map[string]int // canonical key -> node id
-	succ  [][]int32      // deduped successor node ids per node
-	edges int
+
+	// Union successor graph in CSR form: the successors of node i are
+	// succ[succOff[i]:succOff[i+1]], deduped across VM types.
+	succOff []int32 // len(nodes)+1
+	succ    []int32 // edge arena
+
+	// Per-VM-type labeled successors: for node i and active type t the
+	// reachable profiles are tSucc[tOff[i*T+t]:tOff[i*T+t+1]] in
+	// enumeration order, with tAssign holding the representative
+	// anti-collocation assignment (in canonical coordinates) of each.
+	// nil when the lattice is too large (see maxTypedEntries).
+	types   []resource.VMType // active types, in wiring order
+	typeIdx map[string]int    // type name -> index into types
+	tOff    []int32           // len(nodes)*len(types)+1
+	tSucc   []int32
+	tAssign []resource.Assignment
 }
 
 // MaxNodes bounds the lattice size New is willing to enumerate. The
@@ -31,11 +55,32 @@ type Space struct {
 // above this bound.
 const MaxNodes = 4 << 20
 
+// maxTypedEntries bounds the per-type labeled successor arenas: above
+// len(nodes)*len(types) entries the typed lists (and their assignment
+// arena) are skipped and only the union CSR is built, keeping memory
+// proportional to the graph itself. Rankers then fall back to the
+// string-key scoring path.
+const maxTypedEntries = 8 << 20
+
+// Options tunes lattice construction.
+type Options struct {
+	// Workers caps the number of goroutines wiring successor edges.
+	// Zero selects GOMAXPROCS. The output is deterministic for any
+	// worker count: workers fill disjoint, contiguous node ranges that
+	// are stitched in node order.
+	Workers int
+}
+
 // New enumerates the canonical profile lattice of shape and wires the
-// successor edges induced by the VM types. Every VM type must validate
+// successor edges induced by the VM types, using the default Options.
+func New(shape *resource.Shape, vmTypes []resource.VMType) (*Space, error) {
+	return NewSpace(shape, vmTypes, Options{})
+}
+
+// NewSpace is New with explicit Options. Every VM type must validate
 // against the shape. Types with no demand on any of the shape's groups
 // are skipped (they would only contribute self-loops).
-func New(shape *resource.Shape, vmTypes []resource.VMType) (*Space, error) {
+func NewSpace(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Space, error) {
 	if n := shape.NumProfiles(); n < 0 || n > MaxNodes {
 		return nil, fmt.Errorf("lattice: profile space has %d canonical nodes, above limit %d (use the factored ranker)", n, MaxNodes)
 	}
@@ -58,13 +103,14 @@ func New(shape *resource.Shape, vmTypes []resource.VMType) (*Space, error) {
 
 	s := &Space{shape: shape}
 	s.enumerate()
-	s.wire(active)
+	s.wire(active, opts.Workers)
 	return s, nil
 }
 
 // enumerate generates all canonical profiles (non-decreasing within
-// each group) in layer order is not required; we generate in
-// lexicographic order and rely on the DAG property for traversals.
+// each group) in lexicographic order; node ids are lexicographic
+// ranks. Layer order is not required anywhere: traversals rely only on
+// the DAG property (every edge strictly increases total usage).
 func (s *Space) enumerate() {
 	dims := s.shape.NumDims()
 	cur := make(resource.Vec, dims)
@@ -104,28 +150,133 @@ func (s *Space) enumerate() {
 	}
 }
 
-// wire computes the deduped successor sets.
-func (s *Space) wire(vmTypes []resource.VMType) {
-	s.succ = make([][]int32, len(s.nodes))
-	for i, node := range s.nodes {
-		var out []int32
-		seen := make(map[int32]bool)
+// wireChunk holds one worker's output: successor counts and edge
+// buffers for a contiguous node range, concatenated in node order by
+// the stitch pass.
+type wireChunk struct {
+	succ    []int32 // union edges, deduped, per node in range
+	succCnt []int32 // union out-degree per node in range
+	tSucc   []int32 // typed edges (enumeration order) per (node, type)
+	tAssign []resource.Assignment
+	tCnt    []int32 // typed out-degree per (node, type)
+}
+
+// wire computes the union CSR and the per-type labeled successor
+// arenas. Node ranges are wired in parallel; each worker writes only
+// its own chunk, so the hot path takes no locks and the stitched
+// output is identical for every worker count.
+func (s *Space) wire(vmTypes []resource.VMType, workers int) {
+	n := len(s.nodes)
+	s.types = vmTypes
+	s.typeIdx = make(map[string]int, len(vmTypes))
+	for t, vt := range vmTypes {
+		s.typeIdx[vt.Name] = t
+	}
+	T := len(vmTypes)
+	typed := T > 0 && n <= maxTypedEntries/T
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunkSize := (n + workers - 1) / workers
+	chunks := make([]wireChunk, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunkSize, (w+1)*chunkSize
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(c *wireChunk, lo, hi int) {
+			defer wg.Done()
+			s.wireRange(c, vmTypes, lo, hi, typed)
+		}(&chunks[w], lo, hi)
+	}
+	wg.Wait()
+
+	// Stitch: chunk order is node order, so the arenas concatenate and
+	// the offsets are running sums of the per-node counts.
+	totalE, totalT := 0, 0
+	for i := range chunks {
+		totalE += len(chunks[i].succ)
+		totalT += len(chunks[i].tSucc)
+	}
+	s.succOff = make([]int32, n+1)
+	s.succ = make([]int32, 0, totalE)
+	if typed {
+		s.tOff = make([]int32, n*T+1)
+		s.tSucc = make([]int32, 0, totalT)
+		s.tAssign = make([]resource.Assignment, 0, totalT)
+	}
+	ni, ti := 0, 0
+	for ci := range chunks {
+		c := &chunks[ci]
+		for _, cnt := range c.succCnt {
+			s.succOff[ni+1] = s.succOff[ni] + cnt
+			ni++
+		}
+		s.succ = append(s.succ, c.succ...)
+		if typed {
+			for _, cnt := range c.tCnt {
+				s.tOff[ti+1] = s.tOff[ti] + cnt
+				ti++
+			}
+			s.tSucc = append(s.tSucc, c.tSucc...)
+			s.tAssign = append(s.tAssign, c.tAssign...)
+		}
+	}
+}
+
+// wireRange wires nodes [lo, hi) into c. Union successors are deduped
+// by a linear scan over the node's (small) out-list — no per-node map
+// allocation — preserving first-seen order across types.
+func (s *Space) wireRange(c *wireChunk, vmTypes []resource.VMType, lo, hi int, typed bool) {
+	c.succCnt = make([]int32, 0, hi-lo)
+	if typed {
+		c.tCnt = make([]int32, 0, (hi-lo)*len(vmTypes))
+	}
+	for i := lo; i < hi; i++ {
+		node := s.nodes[i]
+		start := len(c.succ)
 		for _, vt := range vmTypes {
-			for _, pl := range resource.Placements(s.shape, node, vt) {
+			pls := resource.Placements(s.shape, node, vt)
+			for _, pl := range pls {
 				j, ok := s.index[pl.Key]
 				if !ok {
 					// Placements stays within capacity, so the result
 					// is always in the lattice.
 					panic(fmt.Sprintf("lattice: successor %v not enumerated", pl.Result))
 				}
-				if !seen[int32(j)] {
-					seen[int32(j)] = true
-					out = append(out, int32(j))
+				if typed {
+					c.tSucc = append(c.tSucc, int32(j))
+					c.tAssign = append(c.tAssign, pl.Assign)
+				}
+				dup := false
+				for _, e := range c.succ[start:] {
+					if e == int32(j) {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					c.succ = append(c.succ, int32(j))
 				}
 			}
+			if typed {
+				c.tCnt = append(c.tCnt, int32(len(pls)))
+			}
 		}
-		s.succ[i] = out
-		s.edges += len(out)
+		c.succCnt = append(c.succCnt, int32(len(c.succ)-start))
 	}
 }
 
@@ -135,16 +286,57 @@ func (s *Space) Shape() *resource.Shape { return s.shape }
 // Len returns the number of canonical profiles.
 func (s *Space) Len() int { return len(s.nodes) }
 
-// Edges returns the total number of edges.
-func (s *Space) Edges() int { return s.edges }
+// Edges returns the total number of edges in the union graph.
+func (s *Space) Edges() int { return len(s.succ) }
 
 // Node returns the canonical profile with id i. The returned vector
 // must not be modified.
 func (s *Space) Node(i int) resource.Vec { return s.nodes[i] }
 
 // Succ returns the successor node ids of node i. The returned slice
+// aliases the CSR arena and must not be modified.
+func (s *Space) Succ(i int) []int32 { return s.succ[s.succOff[i]:s.succOff[i+1]] }
+
+// SuccOffsets returns the CSR offsets arena (length Len()+1). Read-only.
+func (s *Space) SuccOffsets() []int32 { return s.succOff }
+
+// SuccArena returns the CSR edge arena. Read-only.
+func (s *Space) SuccArena() []int32 { return s.succ }
+
+// NumTypes returns the number of active (wired) VM types.
+func (s *Space) NumTypes() int { return len(s.types) }
+
+// TypeAt returns the active VM type with index t.
+func (s *Space) TypeAt(t int) resource.VMType { return s.types[t] }
+
+// TypeIndex returns the index of the named active VM type, or -1.
+func (s *Space) TypeIndex(name string) int {
+	if t, ok := s.typeIdx[name]; ok {
+		return t
+	}
+	return -1
+}
+
+// HasTyped reports whether the per-type labeled successor arenas were
+// built (they are skipped above maxTypedEntries).
+func (s *Space) HasTyped() bool { return s.tOff != nil }
+
+// TypedSucc returns the successor ids reachable from node i by placing
+// one VM of active type t, in enumeration order. The slice aliases the
+// arena and must not be modified.
+func (s *Space) TypedSucc(i, t int) []int32 {
+	k := i*len(s.types) + t
+	return s.tSucc[s.tOff[k]:s.tOff[k+1]]
+}
+
+// TypedAssign returns the representative anti-collocation assignments
+// parallel to TypedSucc(i, t). Assignments are in canonical
+// coordinates (the node's profile is sorted within each group) and
 // must not be modified.
-func (s *Space) Succ(i int) []int32 { return s.succ[i] }
+func (s *Space) TypedAssign(i, t int) []resource.Assignment {
+	k := i*len(s.types) + t
+	return s.tAssign[s.tOff[k]:s.tOff[k+1]]
+}
 
 // Index returns the node id of a (not necessarily canonical) profile,
 // or -1 when the profile is not in the lattice.
@@ -178,7 +370,7 @@ func (s *Space) Utils() []float64 {
 func (s *Space) Terminals() []int {
 	var out []int
 	for i := range s.nodes {
-		if len(s.succ[i]) == 0 {
+		if s.succOff[i] == s.succOff[i+1] {
 			out = append(out, i)
 		}
 	}

@@ -1,0 +1,141 @@
+package pagerank
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomDAG draws a random DAG as per-node successor lists with edges
+// pointing only to higher ids (so acyclicity holds by construction).
+func randomDAG(rng *rand.Rand, n int) [][]int32 {
+	succ := make([][]int32, n)
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Intn(3) == 0 {
+				succ[i] = append(succ[i], int32(j))
+			}
+		}
+	}
+	return succ
+}
+
+func randomUtils(rng *rand.Rand, n int) []float64 {
+	utils := make([]float64, n)
+	for i := range utils {
+		utils[i] = rng.Float64()
+	}
+	return utils
+}
+
+// TestCSRMatchesSliceForm pins the CSR cores to the slice-shim entry
+// points bit for bit: same ranks, residuals, BPRU and absorption
+// values on random DAGs. The shims delegate to the CSR cores, so this
+// is really a regression net for NewCSR and the arena iteration.
+func TestCSRMatchesSliceForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		succ := randomDAG(rng, n)
+		utils := randomUtils(rng, n)
+		g := NewCSR(succ)
+
+		if g.Len() != n {
+			t.Fatalf("trial %d: CSR Len = %d, want %d", trial, g.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			got := g.Succ(i)
+			if len(got) != len(succ[i]) {
+				t.Fatalf("trial %d: node %d has %d successors in CSR, want %d", trial, i, len(got), len(succ[i]))
+			}
+			for k, j := range succ[i] {
+				if got[k] != j {
+					t.Fatalf("trial %d: node %d successor %d = %d, want %d", trial, i, k, got[k], j)
+				}
+			}
+		}
+
+		res1, err1 := Ranks(succ, Options{})
+		res2, err2 := RanksCSR(g, Options{})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: Ranks errors: %v, %v", trial, err1, err2)
+		}
+		if !reflect.DeepEqual(res1, res2) {
+			t.Fatalf("trial %d: Ranks differs between slice and CSR form", trial)
+		}
+		for i := range res1.Ranks {
+			if math.Float64bits(res1.Ranks[i]) != math.Float64bits(res2.Ranks[i]) {
+				t.Fatalf("trial %d: rank %d not bitwise equal", trial, i)
+			}
+		}
+
+		b1, err1 := BPRU(succ, utils)
+		b2, err2 := BPRUCSR(g, utils)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: BPRU errors: %v, %v", trial, err1, err2)
+		}
+		if !reflect.DeepEqual(b1, b2) {
+			t.Fatalf("trial %d: BPRU differs between slice and CSR form", trial)
+		}
+
+		a1, err1 := AbsorptionValues(succ, utils, 0.85, 8)
+		a2, err2 := AbsorptionValuesCSR(g, utils, 0.85, 8)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("trial %d: AbsorptionValues errors: %v, %v", trial, err1, err2)
+		}
+		if !reflect.DeepEqual(a1, a2) {
+			t.Fatalf("trial %d: AbsorptionValues differs between slice and CSR form", trial)
+		}
+	}
+}
+
+// TestCSRReverse checks Reverse against a naive per-node reversal,
+// including the source-order guarantee (ascending sources per target)
+// that keeps downstream float accumulation reproducible.
+func TestCSRReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		succ := randomDAG(rng, n)
+		rev := NewCSR(succ).Reverse()
+
+		naive := make([][]int32, n)
+		for i, out := range succ {
+			for _, j := range out {
+				naive[j] = append(naive[j], int32(i))
+			}
+		}
+		want := NewCSR(naive)
+		if !reflect.DeepEqual(rev.Offsets, want.Offsets) || !reflect.DeepEqual(rev.Edges, want.Edges) {
+			t.Fatalf("trial %d: Reverse differs from naive reversal", trial)
+		}
+	}
+}
+
+// TestScratchPoolsZeroed guards the pool reuse: a dirty released
+// buffer must never leak state into the next run. Two identical runs
+// sandwiching an unrelated one must agree exactly.
+func TestScratchPoolsZeroed(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	succ := randomDAG(rng, 30)
+	g := NewCSR(succ)
+	utils := randomUtils(rng, 30)
+
+	first, _, err := ScoresCSR(g, utils, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pollute the pools with a differently-sized run.
+	other := NewCSR(randomDAG(rng, 50))
+	if _, err := RanksCSR(other, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := ScoresCSR(g, utils, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("repeated ScoresCSR runs differ; pooled scratch not zeroed")
+	}
+}

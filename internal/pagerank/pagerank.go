@@ -4,6 +4,10 @@
 // BPRU (Best Possible Resource Utilization) discount that multiplies
 // each profile's rank by the maximum utilization among the terminal
 // profiles reachable from it.
+//
+// The cores operate on CSR graphs (see CSR); the [][]int32 entry
+// points are thin shims retained for callers holding per-node
+// successor slices.
 package pagerank
 
 import (
@@ -75,12 +79,25 @@ type Result struct {
 	Residuals []float64
 }
 
+// initialResidualCap seeds the Residuals slice: well-conditioned runs
+// converge within a few dozen iterations, so the slice grows from a
+// small capacity instead of pre-reserving MaxIter entries.
+const initialResidualCap = 16
+
 // Ranks runs the paper's Algorithm 1 lines 2-18 on the graph given as
 // per-node successor lists. It returns an error for an empty graph or
-// invalid options.
+// invalid options. Compatibility shim over RanksCSR.
 func Ranks(succ [][]int32, opts Options) (Result, error) {
+	return RanksCSR(NewCSR(succ), opts)
+}
+
+// RanksCSR is Ranks over a CSR graph — the hot-path form: the
+// distribute loop streams two flat arenas and the auxiliary
+// accumulator comes from a scratch pool, so steady-state runs allocate
+// only the returned rank vector (plus residual diagnostics).
+func RanksCSR(g CSR, opts Options) (Result, error) {
 	o := opts.withDefaults()
-	n := len(succ)
+	n := g.Len()
 	if n == 0 {
 		return Result{}, errors.New("pagerank: empty graph")
 	}
@@ -92,21 +109,23 @@ func Ranks(succ [][]int32, opts Options) (Result, error) {
 	}
 
 	pr := make([]float64, n)
-	aux := make([]float64, n)
+	aux := grabF64(n)
+	defer releaseF64(aux)
 	for i := range pr {
 		pr[i] = 1 / float64(n)
 	}
+	offsets, edges := g.Offsets, g.Edges
 
-	res := Result{}
+	res := Result{Residuals: make([]float64, 0, initialResidualCap)}
 	for iter := 1; iter <= o.maxIter; iter++ {
 		// Lines 7-12: distribute each node's rank to its successors.
-		for i := range succ {
-			out := succ[i]
-			if len(out) == 0 {
+		for i := 0; i < n; i++ {
+			lo, hi := offsets[i], offsets[i+1]
+			if lo == hi {
 				continue
 			}
-			share := pr[i] / float64(len(out))
-			for _, j := range out {
+			share := pr[i] / float64(hi-lo)
+			for _, j := range edges[lo:hi] {
 				aux[j] += share
 			}
 		}
@@ -155,9 +174,22 @@ func Ranks(succ [][]int32, opts Options) (Result, error) {
 // terminal nodes (no out-edges) reachable from it; a terminal node's
 // BPRU is its own utilization (Algorithm 1 line 19's discount factor).
 // The graph must be a DAG — profile graphs always are, because edges
-// strictly increase total usage.
+// strictly increase total usage. Compatibility shim over BPRUCSR.
 func BPRU(succ [][]int32, utils []float64) ([]float64, error) {
-	n := len(succ)
+	return BPRUCSR(NewCSR(succ), utils)
+}
+
+// dfsFrame is one entry of the iterative post-order DFS stack shared
+// by BPRUCSR and AbsorptionValuesCSR (deep recursion on long chains
+// would overflow the goroutine stack).
+type dfsFrame struct {
+	node int32
+	next int32
+}
+
+// BPRUCSR is BPRU over a CSR graph.
+func BPRUCSR(g CSR, utils []float64) ([]float64, error) {
+	n := g.Len()
 	if len(utils) != n {
 		return nil, errors.New("pagerank: utils length mismatch")
 	}
@@ -166,31 +198,28 @@ func BPRU(succ [][]int32, utils []float64) ([]float64, error) {
 		inProgress
 		done
 	)
-	state := make([]uint8, n)
+	state := grabU8(n)
+	defer releaseU8(state)
 	bpru := make([]float64, n)
+	offsets, edges := g.Offsets, g.Edges
 
-	// Iterative post-order DFS to avoid deep recursion on long chains.
-	type frame struct {
-		node int
-		next int
-	}
-	var stack []frame
+	var stack []dfsFrame
 	for start := 0; start < n; start++ {
 		if state[start] == done {
 			continue
 		}
-		stack = append(stack[:0], frame{node: start})
+		stack = append(stack[:0], dfsFrame{node: int32(start)})
 		state[start] = inProgress
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			out := succ[f.node]
-			if f.next < len(out) {
-				child := int(out[f.next])
+			lo, hi := offsets[f.node], offsets[f.node+1]
+			if lo+f.next < hi {
+				child := edges[lo+f.next]
 				f.next++
 				switch state[child] {
 				case unvisited:
 					state[child] = inProgress
-					stack = append(stack, frame{node: child})
+					stack = append(stack, dfsFrame{node: child})
 				case inProgress:
 					return nil, errors.New("pagerank: graph has a cycle")
 				}
@@ -198,10 +227,10 @@ func BPRU(succ [][]int32, utils []float64) ([]float64, error) {
 			}
 			// Post-order: fold children.
 			best := math.Inf(-1)
-			if len(out) == 0 {
+			if lo == hi {
 				best = utils[f.node]
 			} else {
-				for _, c := range out {
+				for _, c := range edges[lo:hi] {
 					if bpru[c] > best {
 						best = bpru[c]
 					}
@@ -226,8 +255,14 @@ func BPRU(succ [][]int32, utils []float64) ([]float64, error) {
 // rewarded by how close to full utilization it ends. The reward
 // exponent sharpens the penalty for stranding capacity (a terminal at
 // 93% utilization with rewardExp=8 is worth 0.6, not 0.93).
+// Compatibility shim over AbsorptionValuesCSR.
 func AbsorptionValues(succ [][]int32, utils []float64, damping, rewardExp float64) ([]float64, error) {
-	n := len(succ)
+	return AbsorptionValuesCSR(NewCSR(succ), utils, damping, rewardExp)
+}
+
+// AbsorptionValuesCSR is AbsorptionValues over a CSR graph.
+func AbsorptionValuesCSR(g CSR, utils []float64, damping, rewardExp float64) ([]float64, error) {
+	n := g.Len()
 	if len(utils) != n {
 		return nil, errors.New("pagerank: utils length mismatch")
 	}
@@ -242,43 +277,41 @@ func AbsorptionValues(succ [][]int32, utils []float64, damping, rewardExp float6
 		inProgress
 		done
 	)
-	state := make([]uint8, n)
+	state := grabU8(n)
+	defer releaseU8(state)
 	value := make([]float64, n)
+	offsets, edges := g.Offsets, g.Edges
 
-	type frame struct {
-		node int
-		next int
-	}
-	var stack []frame
+	var stack []dfsFrame
 	for start := 0; start < n; start++ {
 		if state[start] == done {
 			continue
 		}
-		stack = append(stack[:0], frame{node: start})
+		stack = append(stack[:0], dfsFrame{node: int32(start)})
 		state[start] = inProgress
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			out := succ[f.node]
-			if f.next < len(out) {
-				child := int(out[f.next])
+			lo, hi := offsets[f.node], offsets[f.node+1]
+			if lo+f.next < hi {
+				child := edges[lo+f.next]
 				f.next++
 				switch state[child] {
 				case unvisited:
 					state[child] = inProgress
-					stack = append(stack, frame{node: child})
+					stack = append(stack, dfsFrame{node: child})
 				case inProgress:
 					return nil, errors.New("pagerank: graph has a cycle")
 				}
 				continue
 			}
-			if len(out) == 0 {
+			if lo == hi {
 				value[f.node] = math.Pow(utils[f.node], rewardExp)
 			} else {
 				sum := 0.0
-				for _, c := range out {
+				for _, c := range edges[lo:hi] {
 					sum += value[c]
 				}
-				value[f.node] = damping * sum / float64(len(out))
+				value[f.node] = damping * sum / float64(hi-lo)
 			}
 			state[f.node] = done
 			stack = stack[:len(stack)-1]
@@ -288,13 +321,19 @@ func AbsorptionValues(succ [][]int32, utils []float64, damping, rewardExp float6
 }
 
 // Scores runs Ranks then applies the BPRU discount (Algorithm 1
-// line 19), returning the final per-node scores.
+// line 19), returning the final per-node scores. Compatibility shim
+// over ScoresCSR.
 func Scores(succ [][]int32, utils []float64, opts Options) ([]float64, Result, error) {
-	res, err := Ranks(succ, opts)
+	return ScoresCSR(NewCSR(succ), utils, opts)
+}
+
+// ScoresCSR is Scores over a CSR graph.
+func ScoresCSR(g CSR, utils []float64, opts Options) ([]float64, Result, error) {
+	res, err := RanksCSR(g, opts)
 	if err != nil {
 		return nil, Result{}, err
 	}
-	bpru, err := BPRU(succ, utils)
+	bpru, err := BPRUCSR(g, utils)
 	if err != nil {
 		return nil, Result{}, err
 	}

@@ -57,6 +57,16 @@ type PM struct {
 
 	used resource.Vec
 	vms  map[int]Hosted
+
+	// gen counts profile mutations (host/remove). The fast-path
+	// placer caches the lattice node ids of the used profile here (see
+	// pmNodeIDs in pagerankvm.go); the cache is valid while
+	// rankGen == gen and rankOwner is the ranker that resolved it.
+	gen       uint64
+	rankIDs   []int32
+	rankGen   uint64
+	rankOwner any
+	rankOK    bool
 }
 
 // NewPM returns an empty PM.
@@ -106,6 +116,7 @@ func (p *PM) host(vm *VM, assign resource.Assignment) error {
 	}
 	p.used = next
 	p.vms[vm.ID] = Hosted{VM: vm, Assign: assign}
+	p.gen++
 	return nil
 }
 
@@ -117,6 +128,7 @@ func (p *PM) remove(vmID int) (Hosted, error) {
 	}
 	p.used = p.used.Sub(h.Assign.Vec(p.Shape))
 	delete(p.vms, vmID)
+	p.gen++
 	return h, nil
 }
 

@@ -1,0 +1,222 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+)
+
+// trajStep records one committed placement decision.
+type trajStep struct {
+	pmID    int
+	score   uint64 // Float64bits of ScoreOn after commit target chosen
+	profile string // canonical profile key of the chosen PM after hosting
+}
+
+// runTrajectory replays a randomized arrival/departure sequence
+// through a placer and records every decision: chosen PM, the
+// canonical profile it ends up with, and the bitwise score of the
+// accommodation. Both placers see identical clusters and identical
+// request streams.
+func runTrajectory(t *testing.T, reg *ranktable.Registry, pmType string, shape *resource.Shape,
+	vmTypes []resource.VMType, numPMs int, seed int64, opts ...PageRankOption) ([]trajStep, int) {
+	t.Helper()
+	pms := make([]*PM, numPMs)
+	for i := range pms {
+		pms[i] = NewPM(i, pmType, shape)
+	}
+	c := NewCluster(pms)
+	p := NewPageRankVM(reg, append([]PageRankOption{WithSeed(99)}, opts...)...)
+
+	rng := rand.New(rand.NewSource(seed))
+	var steps []trajStep
+	var live []*VM
+	for i := 0; i < 120; i++ {
+		if len(live) > 0 && rng.Intn(4) == 0 {
+			k := rng.Intn(len(live))
+			if _, err := c.Release(live[k].ID); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+			continue
+		}
+		vt := vmTypes[rng.Intn(len(vmTypes))]
+		vm := &VM{ID: 1000 + i, Type: vt.Name, Req: map[string]resource.VMType{pmType: vt}}
+		pm, assign, err := p.Place(c, vm, nil)
+		if err != nil {
+			if err == ErrNoCapacity {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if err := c.Host(pm, vm, assign); err != nil {
+			t.Fatalf("Host after Place: %v", err)
+		}
+		live = append(live, vm)
+		ranker, _ := reg.Get(pmType)
+		score, ok := ranker.Score(pm.Used())
+		if !ok {
+			t.Fatalf("resulting profile %v not scorable", pm.Used())
+		}
+		steps = append(steps, trajStep{
+			pmID:    pm.ID,
+			score:   math.Float64bits(score),
+			profile: shape.Key(pm.Used()),
+		})
+	}
+	return steps, c.MaxUsed
+}
+
+// checkEquivalence runs the same trajectory with the fast path on and
+// off and requires identical decisions: PM choice, bitwise resulting
+// score, canonical resulting profile, and the MaxUsed metric.
+func checkEquivalence(t *testing.T, reg *ranktable.Registry, pmType string, shape *resource.Shape,
+	vmTypes []resource.VMType, numPMs int, seed int64) {
+	t.Helper()
+	fast, fastMax := runTrajectory(t, reg, pmType, shape, vmTypes, numPMs, seed)
+	slow, slowMax := runTrajectory(t, reg, pmType, shape, vmTypes, numPMs, seed, WithoutFastPath())
+	if len(fast) != len(slow) {
+		t.Fatalf("seed %d: fast path made %d placements, slow path %d", seed, len(fast), len(slow))
+	}
+	for i := range fast {
+		if fast[i].pmID != slow[i].pmID {
+			t.Fatalf("seed %d step %d: fast chose pm %d, slow chose pm %d", seed, i, fast[i].pmID, slow[i].pmID)
+		}
+		if fast[i].score != slow[i].score {
+			t.Fatalf("seed %d step %d: scores differ bitwise: %x vs %x", seed, i, fast[i].score, slow[i].score)
+		}
+		if fast[i].profile != slow[i].profile {
+			t.Fatalf("seed %d step %d: resulting canonical profiles differ on pm %d", seed, i, fast[i].pmID)
+		}
+	}
+	if fastMax != slowMax {
+		t.Fatalf("seed %d: MaxUsed differs: fast %d, slow %d", seed, fastMax, slowMax)
+	}
+}
+
+// TestFastPathEquivalenceJoint is the ISSUE's acceptance test for the
+// joint ranker: the id-indexed path and the legacy string-key path
+// must make byte-identical placement decisions over randomized
+// arrival/departure trajectories.
+func TestFastPathEquivalenceJoint(t *testing.T) {
+	reg := smallRegistry(t)
+	for seed := int64(1); seed <= 6; seed++ {
+		checkEquivalence(t, reg, pmSmall, smallShape(), smallVMTypes(), 6, seed)
+	}
+}
+
+// TestFastPathEquivalenceFactored covers the factored ranker (the
+// production configuration for large PM types), including multi-group
+// shapes where the PM's actual profile drifts out of canonical order
+// and alignAssign must translate coordinates.
+func TestFastPathEquivalenceFactored(t *testing.T) {
+	shape := resource.MustShape(
+		resource.Group{Name: "cpu", Dims: 3, Cap: 4},
+		resource.Group{Name: "mem", Dims: 1, Cap: 6},
+		resource.Group{Name: "disk", Dims: 2, Cap: 5},
+	)
+	vmTypes := []resource.VMType{
+		resource.NewVMType("s",
+			resource.Demand{Group: "cpu", Units: []int{1}},
+			resource.Demand{Group: "mem", Units: []int{1}},
+		),
+		resource.NewVMType("m",
+			resource.Demand{Group: "cpu", Units: []int{1, 1}},
+			resource.Demand{Group: "mem", Units: []int{2}},
+			resource.Demand{Group: "disk", Units: []int{2}},
+		),
+		resource.NewVMType("l",
+			resource.Demand{Group: "cpu", Units: []int{2, 2}},
+			resource.Demand{Group: "disk", Units: []int{1, 1}},
+		),
+	}
+	f, err := ranktable.NewFactored(shape, vmTypes, ranktable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Fast() {
+		t.Fatal("factored ranker did not offer the fast path")
+	}
+	reg := ranktable.NewRegistry()
+	const pmBig = "big"
+	reg.Add(pmBig, f)
+	for seed := int64(1); seed <= 6; seed++ {
+		checkEquivalence(t, reg, pmBig, shape, vmTypes, 5, seed)
+	}
+}
+
+// TestAlignAssign pins the canonical→actual translation on a profile
+// that is far from canonical order.
+func TestAlignAssign(t *testing.T) {
+	shape := resource.MustShape(resource.Group{Name: "cpu", Dims: 4, Cap: 4})
+	used := resource.Vec{4, 0, 3, 1} // canonical: [0,1,3,4], perm = [1,3,2,0]
+	canon := resource.Assignment{{Dim: 0, Units: 2}, {Dim: 1, Units: 1}}
+	got := alignAssign(shape, used, canon)
+	want := resource.Assignment{{Dim: 1, Units: 2}, {Dim: 3, Units: 1}}
+	if len(got) != len(want) {
+		t.Fatalf("alignAssign = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("alignAssign = %v, want %v", got, want)
+		}
+	}
+	// The aligned result must have the same canonical form as the
+	// canonical move applied to the canonical profile.
+	result := shape.Canon(used.Add(got.Vec(shape)))
+	wantResult := shape.Canon(shape.Canon(used).Add(canon.Vec(shape)))
+	if !result.Equal(wantResult) {
+		t.Fatalf("aligned result %v, want %v", result, wantResult)
+	}
+	// An already-canonical profile passes through unchanged.
+	id := alignAssign(shape, resource.Vec{0, 1, 3, 4}, canon)
+	for i := range canon {
+		if id[i] != canon[i] {
+			t.Fatalf("canonical profile changed the assignment: %v", id)
+		}
+	}
+}
+
+// TestFastPathCacheInvalidation: the PM's cached node ids must refresh
+// after host/release mutations.
+func TestFastPathCacheInvalidation(t *testing.T) {
+	c := newCluster(1)
+	reg := smallRegistry(t)
+	p := NewPageRankVM(reg)
+	pm := c.PMs()[0]
+
+	vmA := newVM(0, "[1,1]")
+	got := place(t, c, p, vmA)
+	if got != pm {
+		t.Fatalf("placed on pm %d", got.ID)
+	}
+	s1, ok := p.ScoreOn(pm, newVM(1, "[1,1]"))
+	if !ok {
+		t.Fatal("ScoreOn failed")
+	}
+	// Mutate the PM and re-score: the answer must track the new profile.
+	if _, err := c.Release(vmA.ID); err != nil {
+		t.Fatal(err)
+	}
+	s2, ok := p.ScoreOn(pm, newVM(2, "[1,1]"))
+	if !ok {
+		t.Fatal("ScoreOn failed after release")
+	}
+	if math.Float64bits(s1) == math.Float64bits(s2) {
+		t.Fatal("score did not change after the PM profile mutated; node-id cache is stale")
+	}
+	ranker, _ := reg.Get(pmSmall)
+	demand, _ := newVM(3, "[1,1]").DemandOn(pmSmall)
+	wantBest := -1.0
+	for _, pl := range resource.Placements(pm.Shape, pm.Used(), demand) {
+		if s, ok := ranker.Score(pl.Result); ok && s > wantBest {
+			wantBest = s
+		}
+	}
+	if math.Float64bits(s2) != math.Float64bits(wantBest) {
+		t.Fatalf("ScoreOn = %v, enumeration max = %v", s2, wantBest)
+	}
+}

@@ -28,10 +28,35 @@ type PageRankVM struct {
 	// better one.
 	twoChoice bool
 
+	// noFast disables the id-indexed fast path (WithoutFastPath),
+	// forcing the string-key enumeration on every candidate. Both
+	// paths make identical decisions (see TestFastPathEquivalence);
+	// the switch exists for that test and for A/B benchmarking.
+	noFast bool
+
+	// binds caches per-PM-type ranker/demand/fast-path resolutions for
+	// the VM currently being placed (bindVM); reset when the VM changes.
+	binds  []binding
+	bindVM *VM
+
 	// obs and the pre-resolved met counters are nil without
 	// WithObserver; every instrument call is then a no-op branch.
 	obs *obs.Observer
 	met placeMetrics
+}
+
+// binding is the per-(PM type, VM) resolution Algorithm 2's candidate
+// loop would otherwise redo per PM: the ranker, the VM's quantized
+// demand on the PM type, and — when the ranker supports it — the
+// id-indexed fast-path handles.
+type binding struct {
+	pmType    string
+	ranker    ranktable.Ranker
+	demand    resource.VMType
+	hasDemand bool
+	fr        ranktable.FastRanker
+	ref       ranktable.TypeRef
+	fast      bool
 }
 
 // placeMetrics holds the placer's pre-resolved instruments so the
@@ -86,6 +111,15 @@ func (o seedOption) apply(p *PageRankVM) { p.rng = rand.New(rand.NewSource(o.see
 // generator; the default seed is 1.
 func WithSeed(seed int64) PageRankOption { return seedOption{seed: seed} }
 
+type noFastOption struct{}
+
+func (noFastOption) apply(p *PageRankVM) { p.noFast = true }
+
+// WithoutFastPath forces the string-key enumeration path even when the
+// rankers support id-indexed scoring. Decisions are identical either
+// way; this exists for equivalence testing and A/B benchmarks.
+func WithoutFastPath() PageRankOption { return noFastOption{} }
+
 type observerOption struct{ o *obs.Observer }
 
 func (o observerOption) apply(p *PageRankVM) {
@@ -139,6 +173,7 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 	var (
 		bestPM     *PM
 		bestAssign resource.Assignment
+		bestBind   binding
 		bestScore  = -1.0
 		ties       = 0
 		scanned    = 0
@@ -149,23 +184,27 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 		if pm == exclude || !pm.Fits(vm) {
 			continue
 		}
-		score, assign, n, err := p.bestOn(pm, vm)
-		profiles += n
+		b, err := p.binding(pm.Type, vm)
 		if err != nil {
 			return nil, nil, err
 		}
-		if assign == nil {
+		if !b.hasDemand {
+			continue
+		}
+		score, assign, n, ok := p.scoreCandidate(b, pm)
+		profiles += n
+		if !ok {
 			continue
 		}
 		switch {
 		case score > bestScore*(1+scoreEpsilon):
-			bestScore, bestPM, bestAssign = score, pm, assign
+			bestScore, bestPM, bestAssign, bestBind = score, pm, assign, b
 			ties = 1
 		case score >= bestScore*(1-scoreEpsilon):
 			// Tie: reservoir-sample uniformly among tied candidates.
 			ties++
 			if p.rng.Intn(ties) == 0 {
-				bestPM, bestAssign = pm, assign
+				bestPM, bestAssign, bestBind = pm, assign, b
 			}
 		}
 	}
@@ -174,6 +213,18 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 		p.met.profilesScored.Add(int64(profiles))
 		if ties > 1 {
 			p.met.tiesBroken.Add(int64(ties - 1))
+		}
+		// Winners get their assignment here, once, instead of one per
+		// candidate: fast-path winners materialize from the move table,
+		// slow-path winners translate their canonical-coordinate
+		// assignment to the PM's actual dimension order.
+		if bestAssign == nil {
+			bestAssign = p.materialize(bestBind, bestPM)
+			if bestAssign == nil {
+				return nil, nil, fmt.Errorf("placement: cannot materialize assignment on pm %d", bestPM.ID)
+			}
+		} else {
+			bestAssign = alignAssign(bestPM.Shape, bestPM.used, bestAssign)
 		}
 		p.tracePlace(vm, bestPM, bestScore, scanned, profiles, ties, false)
 		return bestPM, bestAssign, nil
@@ -184,16 +235,27 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 		if pm == exclude || !pm.Fits(vm) {
 			continue
 		}
-		_, assign, n, err := p.bestOn(pm, vm)
-		profiles += n
+		b, err := p.binding(pm.Type, vm)
 		if err != nil {
 			return nil, nil, err
 		}
-		if assign != nil {
-			p.met.profilesScored.Add(int64(profiles))
-			p.met.pmsOpened.Inc()
-			p.tracePlace(vm, pm, 0, scanned, profiles, 0, true)
-			return pm, assign, nil
+		if !b.hasDemand {
+			continue
+		}
+		_, assign, n, ok := p.scoreCandidate(b, pm)
+		profiles += n
+		if ok {
+			if assign == nil {
+				assign = p.materialize(b, pm)
+			} else {
+				assign = alignAssign(pm.Shape, pm.used, assign)
+			}
+			if assign != nil {
+				p.met.profilesScored.Add(int64(profiles))
+				p.met.pmsOpened.Inc()
+				p.tracePlace(vm, pm, 0, scanned, profiles, 0, true)
+				return pm, assign, nil
+			}
 		}
 	}
 	p.met.profilesScored.Add(int64(profiles))
@@ -220,25 +282,79 @@ func (p *PageRankVM) tracePlace(vm *VM, pm *PM, score float64, scanned, profiles
 	}})
 }
 
-// bestOn scores every distinct accommodation of vm on pm and returns
-// the best (lines 6-7 of Algorithm 2) plus the number of candidate
-// profiles enumerated.
-func (p *PageRankVM) bestOn(pm *PM, vm *VM) (float64, resource.Assignment, int, error) {
-	ranker, ok := p.rankers.Get(pm.Type)
-	if !ok {
-		return 0, nil, 0, fmt.Errorf("placement: no ranker registered for PM type %q", pm.Type)
+// binding resolves (and caches, for the VM currently being placed) the
+// ranker, demand and fast-path handles for one PM type.
+func (p *PageRankVM) binding(pmType string, vm *VM) (binding, error) {
+	if p.bindVM != vm {
+		p.binds = p.binds[:0]
+		p.bindVM = vm
 	}
-	demand, ok := vm.DemandOn(pm.Type)
+	for i := range p.binds {
+		if p.binds[i].pmType == pmType {
+			return p.binds[i], nil
+		}
+	}
+	b, err := p.resolveBinding(pmType, vm)
+	if err != nil {
+		return binding{}, err
+	}
+	p.binds = append(p.binds, b)
+	return b, nil
+}
+
+func (p *PageRankVM) resolveBinding(pmType string, vm *VM) (binding, error) {
+	ranker, ok := p.rankers.Get(pmType)
 	if !ok {
-		return 0, nil, 0, nil
+		return binding{}, fmt.Errorf("placement: no ranker registered for PM type %q", pmType)
+	}
+	b := binding{pmType: pmType, ranker: ranker}
+	b.demand, b.hasDemand = vm.DemandOn(pmType)
+	if b.hasDemand && !p.noFast {
+		if fr, ok := ranker.(ranktable.FastRanker); ok && fr.Fast() {
+			if ref, ok := fr.ResolveType(b.demand); ok {
+				b.fr, b.ref, b.fast = fr, ref, true
+			}
+		}
+	}
+	return b, nil
+}
+
+// pmNodeIDs resolves pm's used profile to fr's lattice node ids,
+// serving repeats from the cache on the PM (invalidated whenever the
+// profile mutates — see PM.gen).
+func pmNodeIDs(pm *PM, fr ranktable.FastRanker) ([]int32, bool) {
+	if pm.rankOwner == fr && pm.rankGen == pm.gen {
+		return pm.rankIDs, pm.rankOK
+	}
+	ids, ok := fr.NodeIDs(pm.used, pm.rankIDs)
+	pm.rankIDs, pm.rankOK = ids, ok
+	pm.rankGen, pm.rankOwner = pm.gen, fr
+	return ids, ok
+}
+
+// scoreCandidate scores the best accommodation of the bound VM on pm
+// (lines 6-7 of Algorithm 2) plus the number of candidate profiles.
+// On the fast path the returned assignment is nil — the caller
+// materializes it for the winning PM only. The slow path enumerates
+// resource.Placements from the PM's canonical profile — the same
+// sequence the lattice's typed successor lists were wired from, so
+// both paths break score ties identically — and string-key scores
+// each result. The returned slow-path assignment is therefore in
+// canonical coordinates; callers translate with alignAssign.
+func (p *PageRankVM) scoreCandidate(b binding, pm *PM) (float64, resource.Assignment, int, bool) {
+	if b.fast {
+		if ids, ok := pmNodeIDs(pm, b.fr); ok {
+			score, count, ok := b.fr.BestMove(ids, b.ref)
+			return score, nil, count, ok
+		}
 	}
 	var (
 		bestScore  = -1.0
 		bestAssign resource.Assignment
 	)
-	placements := resource.Placements(pm.Shape, pm.Used(), demand)
+	placements := resource.Placements(pm.Shape, pm.Shape.Canon(pm.used), b.demand)
 	for _, pl := range placements {
-		score, ok := ranker.Score(pl.Result)
+		score, ok := b.ranker.Score(pl.Result)
 		if !ok {
 			continue
 		}
@@ -247,9 +363,90 @@ func (p *PageRankVM) bestOn(pm *PM, vm *VM) (float64, resource.Assignment, int, 
 		}
 	}
 	if bestAssign == nil {
-		return 0, nil, len(placements), nil
+		return 0, nil, len(placements), false
 	}
-	return bestScore, bestAssign, len(placements), nil
+	return bestScore, bestAssign, len(placements), true
+}
+
+// materialize produces the concrete assignment realizing the fast
+// path's best move on pm, translated from canonical to the PM's actual
+// dimension order. Returns nil if the move cannot be realized (which a
+// successful scoreCandidate on the same profile rules out; the
+// enumeration fallback is defensive).
+func (p *PageRankVM) materialize(b binding, pm *PM) resource.Assignment {
+	if b.fast {
+		if ids, ok := pmNodeIDs(pm, b.fr); ok {
+			if canon, ok := b.fr.Materialize(ids, b.ref); ok {
+				return alignAssign(pm.Shape, pm.used, canon)
+			}
+		}
+		b.fast = false
+	}
+	_, assign, _, _ := p.scoreCandidate(b, pm)
+	if assign == nil {
+		return nil
+	}
+	return alignAssign(pm.Shape, pm.used, assign)
+}
+
+// alignAssign translates an assignment expressed in canonical
+// coordinates (positions within each group's sorted profile) to the
+// PM's actual dimension order: canonical position k of a group maps to
+// the actual dimension holding the k-th smallest used value, ties by
+// dimension index — the same stable order the canonical sort applies.
+// The aligned assignment is valid against used and yields a profile
+// whose canonical form is exactly the lattice successor the move was
+// scored on.
+func alignAssign(shape *resource.Shape, used resource.Vec, canon resource.Assignment) resource.Assignment {
+	out := make(resource.Assignment, len(canon))
+	copy(out, canon)
+	var perm [16]int
+	for gi := 0; gi < shape.NumGroups(); gi++ {
+		lo, hi := shape.GroupRange(gi)
+		sorted := true
+		for d := lo + 1; d < hi; d++ {
+			if used[d] < used[d-1] {
+				sorted = false
+				break
+			}
+		}
+		if sorted {
+			continue
+		}
+		// Stable insertion sort of the group's dimension indices by
+		// used value: p[k] = in-group index of the k-th smallest.
+		n := hi - lo
+		pp := perm[:0]
+		if n > len(perm) {
+			pp = make([]int, 0, n)
+		}
+		for d := 0; d < n; d++ {
+			pp = append(pp, d)
+		}
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && used[lo+pp[j]] < used[lo+pp[j-1]]; j-- {
+				pp[j], pp[j-1] = pp[j-1], pp[j]
+			}
+		}
+		for i := range out {
+			if out[i].Dim >= lo && out[i].Dim < hi {
+				out[i].Dim = lo + pp[out[i].Dim-lo]
+			}
+		}
+	}
+	return out
+}
+
+// ScoreOn returns the best accommodation score of vm on pm — one
+// candidate evaluation of Algorithm 2's inner loop, exposed for
+// benchmarking the id-indexed fast path against the enumeration path.
+func (p *PageRankVM) ScoreOn(pm *PM, vm *VM) (float64, bool) {
+	b, err := p.binding(pm.Type, vm)
+	if err != nil || !b.hasDemand {
+		return 0, false
+	}
+	score, _, _, ok := p.scoreCandidate(b, pm)
+	return score, ok
 }
 
 // sample draws two distinct random used PMs (the 2-choice method).

@@ -1,0 +1,221 @@
+package ranktable
+
+import "pagerankvm/internal/resource"
+
+// TypeRef is an opaque, ranker-specific handle for a VM type resolved
+// by ResolveType. It is only meaningful with the ranker that issued it.
+type TypeRef struct{ id int32 }
+
+// FastRanker is the integer-indexed scoring interface Algorithm 2's hot
+// loop uses. Instead of enumerating resource.Placements and hashing
+// canonical profile keys per candidate PM, the placer resolves each
+// PM's profile to lattice node ids once (cached until the PM mutates,
+// see placement.PM) and each VM type to a TypeRef once per batch; a
+// candidate's best accommodation is then a single precomputed-table
+// read.
+//
+// All methods are safe for concurrent readers and allocation-free on
+// the hit path. Fast reports whether the fast path is available at all
+// — deserialized tables, over-large lattices and type sets the ranker
+// cannot decompose return false, and callers fall back to the
+// string-key Ranker methods (which remain exactly equivalent).
+type FastRanker interface {
+	Ranker
+	// Fast reports whether the id-indexed methods below are usable.
+	Fast() bool
+	// NodeIDs resolves a (not necessarily canonical) profile to the
+	// ranker's node ids, appending to dst[:0]. One id for a joint
+	// table; one id per resource group for a factored ranker. ok is
+	// false when the profile is outside the lattice.
+	NodeIDs(p resource.Vec, dst []int32) ([]int32, bool)
+	// ResolveType resolves a VM type to a handle for BestMove and
+	// Materialize. ok is false when the type is unknown to the ranker,
+	// its demands differ from the registered type of the same name, or
+	// the ranker cannot serve it from precomputed moves.
+	ResolveType(vt resource.VMType) (TypeRef, bool)
+	// BestMove returns the best score reachable from the profile ids by
+	// placing one VM of the resolved type, along with the number of
+	// distinct candidate profiles. ok is false when the type cannot be
+	// placed on the profile. The score and count are bitwise/exactly
+	// what a scan over resource.Placements + Score would produce.
+	BestMove(ids []int32, ref TypeRef) (score float64, count int, ok bool)
+	// Materialize returns a representative anti-collocation assignment
+	// realizing BestMove's score, in canonical coordinates (the
+	// caller translates to the PM's actual dimension order; see
+	// placement.alignAssign). The assignment aliases a shared arena
+	// and must not be modified.
+	Materialize(ids []int32, ref TypeRef) (resource.Assignment, bool)
+	// ScoreIDs returns the score of the profile identified by ids —
+	// the id-indexed equivalent of Score/ScoreKey.
+	ScoreIDs(ids []int32) (float64, bool)
+}
+
+var (
+	_ FastRanker = (*Table)(nil)
+	_ FastRanker = (*Factored)(nil)
+)
+
+// Fast reports whether the table carries its lattice and id-indexed
+// scores (tables rebuilt from serialized form do not), and — when the
+// lattice has active VM types — the precomputed move table.
+func (t *Table) Fast() bool {
+	if t.space == nil || t.ids == nil {
+		return false
+	}
+	return t.space.NumTypes() == 0 || t.best != nil
+}
+
+// NodeIDs resolves p to its single lattice node id.
+func (t *Table) NodeIDs(p resource.Vec, dst []int32) ([]int32, bool) {
+	if t.space == nil || len(p) != t.shape.NumDims() {
+		return nil, false
+	}
+	id := t.space.Index(p)
+	if id < 0 {
+		return nil, false
+	}
+	return append(dst[:0], int32(id)), true
+}
+
+// ResolveType resolves vt against the lattice's active type set,
+// verifying the demands match the registered type of the same name.
+func (t *Table) ResolveType(vt resource.VMType) (TypeRef, bool) {
+	if t.best == nil {
+		return TypeRef{}, false
+	}
+	tid := t.space.TypeIndex(vt.Name)
+	if tid < 0 || !t.space.TypeAt(tid).Equal(vt) {
+		return TypeRef{}, false
+	}
+	return TypeRef{id: int32(tid)}, true
+}
+
+// BestMove reads the precomputed argmax for (node, type).
+func (t *Table) BestMove(ids []int32, ref TypeRef) (float64, int, bool) {
+	m := t.best[int(ids[0])*t.space.NumTypes()+int(ref.id)]
+	if m.arg < 0 {
+		return 0, 0, false
+	}
+	return m.score, int(m.count), true
+}
+
+// Materialize returns the winning move's representative assignment.
+func (t *Table) Materialize(ids []int32, ref TypeRef) (resource.Assignment, bool) {
+	m := t.best[int(ids[0])*t.space.NumTypes()+int(ref.id)]
+	if m.arg < 0 {
+		return nil, false
+	}
+	return t.space.TypedAssign(int(ids[0]), int(ref.id))[m.arg], true
+}
+
+// ScoreIDs returns the score of node ids[0].
+func (t *Table) ScoreIDs(ids []int32) (float64, bool) {
+	if t.ids == nil || len(ids) != 1 || int(ids[0]) >= len(t.ids) {
+		return 0, false
+	}
+	return t.ids[ids[0]], true
+}
+
+// Fast reports whether every group table carries its id-indexed form.
+func (f *Factored) Fast() bool { return f.fast }
+
+// NodeIDs resolves p to one node id per resource group (the factored
+// profile coordinates).
+func (f *Factored) NodeIDs(p resource.Vec, dst []int32) ([]int32, bool) {
+	if !f.fast || len(p) != f.shape.NumDims() {
+		return nil, false
+	}
+	dst = dst[:0]
+	for gi, tb := range f.groups {
+		id := tb.space.Index(f.shape.Project(p, gi))
+		if id < 0 {
+			return nil, false
+		}
+		dst = append(dst, int32(id))
+	}
+	return dst, true
+}
+
+// ResolveType resolves vt against the bindings precomputed at build
+// time, verifying the demands match the registered type.
+func (f *Factored) ResolveType(vt resource.VMType) (TypeRef, bool) {
+	if !f.fast {
+		return TypeRef{}, false
+	}
+	ti, ok := f.typeIdx[vt.Name]
+	if !ok || !f.feas[ti] || !f.types[ti].Equal(vt) {
+		return TypeRef{}, false
+	}
+	return TypeRef{id: int32(ti)}, true
+}
+
+// BestMove multiplies the per-group best scores in ascending group
+// order — the exact multiplication chain Score performs for the
+// winning placement, so the result is bitwise identical to a scan over
+// resource.Placements. Per-group placements are independent, so the
+// joint candidate count is the product of the group counts and the
+// joint maximum factors into per-group maxima (float multiplication is
+// monotone on non-negative operands, so this holds bitwise, not just
+// in real arithmetic).
+func (f *Factored) BestMove(ids []int32, ref TypeRef) (float64, int, bool) {
+	ti := int(ref.id)
+	gtid := f.gtid[ti]
+	score := 1.0
+	count := 1
+	for gi, tb := range f.groups {
+		tid := gtid[gi]
+		if tid < 0 {
+			// Type does not touch this group: the group profile is
+			// unchanged and contributes its own score as a factor.
+			score *= tb.ids[ids[gi]]
+			continue
+		}
+		m := tb.best[int(ids[gi])*tb.space.NumTypes()+int(tid)]
+		if m.arg < 0 {
+			return 0, 0, false
+		}
+		score *= m.score
+		count *= int(m.count)
+	}
+	return score, count, true
+}
+
+// Materialize concatenates the winning per-group assignments, shifting
+// each group's dimensions to their joint-shape positions. The result
+// is freshly allocated (group arenas cannot be aliased across groups).
+func (f *Factored) Materialize(ids []int32, ref TypeRef) (resource.Assignment, bool) {
+	ti := int(ref.id)
+	vt := f.types[ti]
+	out := make(resource.Assignment, 0, vt.TotalUnits())
+	for _, g := range f.dem[ti] {
+		gi := int(g)
+		tb := f.groups[gi]
+		tid := f.gtid[ti][gi]
+		m := tb.best[int(ids[gi])*tb.space.NumTypes()+int(tid)]
+		if m.arg < 0 {
+			return nil, false
+		}
+		ga := tb.space.TypedAssign(int(ids[gi]), int(tid))[m.arg]
+		lo, _ := f.shape.GroupRange(gi)
+		for _, du := range ga {
+			out = append(out, resource.DimUnits{Dim: lo + du.Dim, Units: du.Units})
+		}
+	}
+	return out, true
+}
+
+// ScoreIDs multiplies the per-group scores in ascending group order
+// (bitwise identical to Score on the corresponding joint profile).
+func (f *Factored) ScoreIDs(ids []int32) (float64, bool) {
+	if !f.fast || len(ids) != len(f.groups) {
+		return 0, false
+	}
+	score := 1.0
+	for gi, tb := range f.groups {
+		if int(ids[gi]) >= len(tb.ids) {
+			return 0, false
+		}
+		score *= tb.ids[ids[gi]]
+	}
+	return score, true
+}

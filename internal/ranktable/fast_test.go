@@ -1,0 +1,257 @@
+package ranktable
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pagerankvm/internal/resource"
+)
+
+func multiGroupShape() *resource.Shape {
+	return resource.MustShape(
+		resource.Group{Name: "cpu", Dims: 3, Cap: 3},
+		resource.Group{Name: "mem", Dims: 1, Cap: 4},
+	)
+}
+
+func multiGroupTypes() []resource.VMType {
+	return []resource.VMType{
+		resource.NewVMType("a",
+			resource.Demand{Group: "cpu", Units: []int{1, 1}},
+			resource.Demand{Group: "mem", Units: []int{1}},
+		),
+		resource.NewVMType("b",
+			resource.Demand{Group: "cpu", Units: []int{2}},
+		),
+		resource.NewVMType("c",
+			resource.Demand{Group: "mem", Units: []int{2}},
+		),
+	}
+}
+
+// checkFastAgainstStrings pins every id-indexed answer to the
+// string-key path it replaces: ScoreIDs vs ScoreKey on every node of
+// the (joint) lattice, and BestMove/Materialize vs a manual scan over
+// resource.Placements. Scores must be bitwise equal, not just close.
+func checkFastAgainstStrings(t *testing.T, fr FastRanker, shape *resource.Shape, vmTypes []resource.VMType, profiles []resource.Vec) {
+	t.Helper()
+	if !fr.Fast() {
+		t.Fatal("ranker does not offer the fast path")
+	}
+	var ids []int32
+	for _, p := range profiles {
+		var ok bool
+		ids, ok = fr.NodeIDs(p, ids)
+		if !ok {
+			t.Fatalf("NodeIDs failed for in-lattice profile %v", p)
+		}
+		want, ok := fr.Score(p)
+		if !ok {
+			t.Fatalf("Score failed for %v", p)
+		}
+		got, ok := fr.ScoreIDs(ids)
+		if !ok {
+			t.Fatalf("ScoreIDs failed for %v", p)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("ScoreIDs(%v) = %v, Score = %v (not bitwise equal)", p, got, want)
+		}
+
+		for _, vt := range vmTypes {
+			ref, ok := fr.ResolveType(vt)
+			if !ok {
+				t.Fatalf("ResolveType(%s) failed", vt.Name)
+			}
+			pls := resource.Placements(shape, p, vt)
+			bestScore, found := -1.0, false
+			for _, pl := range pls {
+				s, ok := fr.Score(pl.Result)
+				if !ok {
+					t.Fatalf("Score failed for successor %v", pl.Result)
+				}
+				if s > bestScore {
+					bestScore, found = s, true
+				}
+			}
+			score, count, ok := fr.BestMove(ids, ref)
+			if ok != found {
+				t.Fatalf("BestMove(%v, %s) ok = %v, enumeration found = %v", p, vt.Name, ok, found)
+			}
+			if !found {
+				continue
+			}
+			if count != len(pls) {
+				t.Fatalf("BestMove(%v, %s) count = %d, want %d", p, vt.Name, count, len(pls))
+			}
+			if math.Float64bits(score) != math.Float64bits(bestScore) {
+				t.Fatalf("BestMove(%v, %s) = %v, enumeration max = %v (not bitwise equal)", p, vt.Name, score, bestScore)
+			}
+			assign, ok := fr.Materialize(ids, ref)
+			if !ok {
+				t.Fatalf("Materialize(%v, %s) failed after successful BestMove", p, vt.Name)
+			}
+			canon := shape.Canon(p)
+			result := canon.Add(assign.Vec(shape))
+			if !shape.Valid(result) {
+				t.Fatalf("Materialize(%v, %s) assignment %v overflows", p, vt.Name, assign)
+			}
+			s, ok := fr.Score(result)
+			if !ok || math.Float64bits(s) != math.Float64bits(score) {
+				t.Fatalf("Materialize(%v, %s) yields profile scoring %v, BestMove scored %v", p, vt.Name, s, score)
+			}
+		}
+	}
+}
+
+func latticeProfiles(t *testing.T, shape *resource.Shape) []resource.Vec {
+	t.Helper()
+	// Walk the box [0..cap]^dims and keep one representative per
+	// canonical class plus non-canonical permutations (NodeIDs must
+	// canonicalize).
+	caps := shape.Capacity()
+	var out []resource.Vec
+	cur := make(resource.Vec, shape.NumDims())
+	var gen func(d int)
+	gen = func(d int) {
+		if d == len(cur) {
+			out = append(out, cur.Clone())
+			return
+		}
+		for v := 0; v <= caps[d]; v++ {
+			cur[d] = v
+			gen(d + 1)
+		}
+	}
+	gen(0)
+	return out
+}
+
+func TestTableFastPath(t *testing.T) {
+	shape := resource.MustShape(resource.Group{Name: "cpu", Dims: 4, Cap: 4})
+	table, err := NewJoint(shape, paperVMTypes(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFastAgainstStrings(t, table, shape, paperVMTypes(), latticeProfiles(t, shape))
+}
+
+func TestFactoredFastPath(t *testing.T) {
+	shape := multiGroupShape()
+	f, err := NewFactored(shape, multiGroupTypes(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFastAgainstStrings(t, f, shape, multiGroupTypes(), latticeProfiles(t, shape))
+}
+
+func TestFastPathRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		groups := []resource.Group{
+			{Name: "cpu", Dims: 1 + rng.Intn(3), Cap: 2 + rng.Intn(2)},
+			{Name: "mem", Dims: 1 + rng.Intn(2), Cap: 2 + rng.Intn(3)},
+		}
+		shape := resource.MustShape(groups...)
+		var types []resource.VMType
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			var demands []resource.Demand
+			for _, g := range groups {
+				if rng.Intn(3) == 0 {
+					continue
+				}
+				units := make([]int, 1+rng.Intn(g.Dims))
+				for u := range units {
+					units[u] = 1 + rng.Intn(g.Cap)
+				}
+				demands = append(demands, resource.Demand{Group: g.Name, Units: units})
+			}
+			if len(demands) == 0 {
+				demands = append(demands, resource.Demand{Group: "cpu", Units: []int{1}})
+			}
+			types = append(types, resource.NewVMType(string(rune('a'+k)), demands...))
+		}
+		profiles := latticeProfiles(t, shape)
+
+		joint, err := NewJoint(shape, types, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkFastAgainstStrings(t, joint, shape, types, profiles)
+
+		factored, err := NewFactored(shape, types, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkFastAgainstStrings(t, factored, shape, types, profiles)
+	}
+}
+
+// TestResolveTypeRejectsImpostor: a type resolving by name but with
+// different demands must be refused (the fast path would silently
+// serve precomputed moves for the wrong demand otherwise).
+func TestResolveTypeRejectsImpostor(t *testing.T) {
+	table := paperTable(t)
+	impostor := resource.NewVMType("[1,1]", resource.Demand{Group: "cpu", Units: []int{2, 2}})
+	if _, ok := table.ResolveType(impostor); ok {
+		t.Fatal("ResolveType accepted a type whose demands differ from the registered one")
+	}
+	if _, ok := table.ResolveType(resource.NewVMType("unknown")); ok {
+		t.Fatal("ResolveType accepted an unknown type")
+	}
+}
+
+// TestLoadedTableIsSlow: tables rebuilt from serialized bytes have no
+// lattice, so they must decline the fast path (and the placer falls
+// back to string scoring).
+func TestLoadedTableIsSlow(t *testing.T) {
+	table := paperTable(t)
+	var buf bytes.Buffer
+	if err := table.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fast() {
+		t.Fatal("deserialized table claims the fast path")
+	}
+	if _, ok := loaded.NodeIDs(resource.Vec{0, 0, 0, 0}, nil); ok {
+		t.Fatal("deserialized table resolved node ids")
+	}
+}
+
+// TestNewFactoredParallelDeterministic: the concurrent per-group
+// builds must produce identical tables regardless of scheduling, and
+// identical to each other across repeated builds.
+func TestNewFactoredParallelDeterministic(t *testing.T) {
+	shape := multiGroupShape()
+	ref, err := NewFactored(shape, multiGroupTypes(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 5; rep++ {
+		got, err := NewFactored(shape, multiGroupTypes(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi := 0; gi < shape.NumGroups(); gi++ {
+			if !reflect.DeepEqual(got.groups[gi].ids, ref.groups[gi].ids) {
+				t.Fatalf("rep %d: group %d id-scores differ across builds", rep, gi)
+			}
+			if !reflect.DeepEqual(got.groups[gi].scores, ref.groups[gi].scores) {
+				t.Fatalf("rep %d: group %d score maps differ across builds", rep, gi)
+			}
+			if !reflect.DeepEqual(got.groups[gi].best, ref.groups[gi].best) {
+				t.Fatalf("rep %d: group %d move tables differ across builds", rep, gi)
+			}
+		}
+		if !reflect.DeepEqual(got.gtid, ref.gtid) || !reflect.DeepEqual(got.dem, ref.dem) ||
+			!reflect.DeepEqual(got.feas, ref.feas) {
+			t.Fatalf("rep %d: type bindings differ across builds", rep)
+		}
+	}
+}

@@ -17,6 +17,7 @@ package ranktable
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"pagerankvm/internal/lattice"
@@ -48,14 +49,33 @@ type BuildStats struct {
 
 // Table is a concrete Profile→score table over one lattice (either the
 // joint lattice or one group's sub-lattice).
+//
+// Scores live in a dense []float64 indexed by lattice node id — the
+// form every hot lookup uses (see fast.go). The string-keyed map is
+// retained only for serialization, Top and the compatibility Score/
+// ScoreKey shims.
 type Table struct {
 	shape  *resource.Shape
-	scores map[string]float64
+	scores map[string]float64 // canonical key -> score (serialization/debug)
+	ids    []float64          // score by node id (nil for loaded tables)
+	space  *lattice.Space     // nil for loaded tables
+	best   []move             // argmax per (node id, type id); see buildBest
 	stats  BuildStats
 
 	// hits/misses count Score lookups when the table was built with
 	// Options.Obs; nil (free) otherwise.
 	hits, misses *obs.Counter
+}
+
+// move is the precomputed answer to "what is the best accommodation of
+// VM type t from profile node i": the index of the winning successor
+// in the lattice's typed list, the number of candidate profiles, and
+// the winning score. One move per (node, type) makes Algorithm 2's
+// per-candidate work a single array read.
+type move struct {
+	arg   int32 // index into lattice.TypedSucc(i, t); -1 when the type cannot be placed
+	count int32
+	score float64
 }
 
 var _ Ranker = (*Table)(nil)
@@ -123,13 +143,17 @@ type Options struct {
 	// score-lookup hit/miss counts, and the Algorithm 1 convergence
 	// stats (pagerank.* metrics).
 	Obs *obs.Observer
+	// WireWorkers caps the goroutines wiring lattice successor edges;
+	// zero selects GOMAXPROCS (see lattice.Options.Workers). Output is
+	// identical for every worker count.
+	WireWorkers int
 }
 
 // NewJoint builds the exact Profile→score table for shape under the
 // given VM-type set (Algorithm 1 on the full canonical lattice).
 func NewJoint(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Table, error) {
 	start := time.Now()
-	space, err := lattice.New(shape, vmTypes)
+	space, err := lattice.NewSpace(shape, vmTypes, lattice.Options{Workers: opts.WireWorkers})
 	if err != nil {
 		return nil, fmt.Errorf("ranktable: joint lattice: %w", err)
 	}
@@ -150,10 +174,7 @@ func NewJoint(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*
 }
 
 func fromSpace(space *lattice.Space, opts Options) (*Table, error) {
-	fwd := make([][]int32, space.Len())
-	for i := range fwd {
-		fwd[i] = space.Succ(i)
-	}
+	g := pagerank.CSR{Offsets: space.SuccOffsets(), Edges: space.SuccArena()}
 	utils := space.Utils()
 
 	var (
@@ -165,24 +186,24 @@ func fromSpace(space *lattice.Space, opts Options) (*Table, error) {
 	case ModeAbsorption:
 		damping := opt.Or(opts.PageRank.Damping, pagerank.DefaultDamping)
 		rewardExp := opt.Or(opts.RewardExponent, DefaultRewardExponent)
-		scores, err = pagerank.AbsorptionValues(fwd, utils, damping, rewardExp)
+		scores, err = pagerank.AbsorptionValuesCSR(g, utils, damping, rewardExp)
 		res = pagerank.Result{Converged: true}
 	case ModeForwardPR, ModeReversePR:
-		votes := fwd
+		votes := g
 		if opts.Mode == ModeReversePR {
-			votes = reverse(fwd)
+			votes = g.Reverse()
 		}
 		propts := opts.PageRank
 		if propts.Obs == nil {
 			propts.Obs = opts.Obs
 		}
-		res, err = pagerank.Ranks(votes, propts)
+		res, err = pagerank.RanksCSR(votes, propts)
 		if err == nil {
 			scores = res.Ranks
 			if !opts.DisableBPRU {
 				var bpru []float64
 				bpruStart := time.Now()
-				bpru, err = pagerank.BPRU(fwd, utils)
+				bpru, err = pagerank.BPRUCSR(g, utils)
 				if opts.Obs != nil {
 					opts.Obs.Histogram("pagerank.bpru_seconds", nil).
 						Observe(time.Since(bpruStart).Seconds())
@@ -206,6 +227,8 @@ func fromSpace(space *lattice.Space, opts Options) (*Table, error) {
 	t := &Table{
 		shape:  space.Shape(),
 		scores: make(map[string]float64, space.Len()),
+		ids:    scores,
+		space:  space,
 		hits:   opts.Obs.Counter("ranktable.score_hits"),
 		misses: opts.Obs.Counter("ranktable.score_misses"),
 		stats: BuildStats{
@@ -218,7 +241,36 @@ func fromSpace(space *lattice.Space, opts Options) (*Table, error) {
 	for i := 0; i < space.Len(); i++ {
 		t.scores[t.shape.KeyCanon(space.Node(i))] = scores[i]
 	}
+	t.buildBest()
 	return t, nil
+}
+
+// buildBest precomputes, for every (node, active VM type) pair, the
+// argmax of the id-indexed scores over the lattice's typed successor
+// list. Ties keep the first maximum in enumeration order — the same
+// winner a linear scan over resource.Placements picks.
+func (t *Table) buildBest() {
+	sp := t.space
+	if sp == nil || !sp.HasTyped() {
+		return
+	}
+	n, nt := sp.Len(), sp.NumTypes()
+	if nt == 0 {
+		return
+	}
+	t.best = make([]move, n*nt)
+	for i := 0; i < n; i++ {
+		for ty := 0; ty < nt; ty++ {
+			succ := sp.TypedSucc(i, ty)
+			m := move{arg: -1, count: int32(len(succ))}
+			for k, j := range succ {
+				if s := t.ids[j]; m.arg < 0 || s > m.score {
+					m.arg, m.score = int32(k), s
+				}
+			}
+			t.best[i*nt+ty] = m
+		}
+	}
 }
 
 // Shape returns the PM shape of the table.
@@ -287,17 +339,6 @@ func (t *Table) Top(n int) []Entry {
 	return entries
 }
 
-// reverse flips every edge of the graph.
-func reverse(succ [][]int32) [][]int32 {
-	rev := make([][]int32, len(succ))
-	for i, out := range succ {
-		for _, j := range out {
-			rev[j] = append(rev[j], int32(i))
-		}
-	}
-	return rev
-}
-
 func decodeKey(key string) resource.Vec {
 	v := make(resource.Vec, len(key))
 	for i := 0; i < len(key); i++ {
@@ -311,32 +352,115 @@ func decodeKey(key string) resource.Vec {
 type Factored struct {
 	shape  *resource.Shape
 	groups []*Table // indexed by group, nil when no VM type touches it
+
+	// Fast-path type bindings, built once from the VM-type set the
+	// ranker was constructed with (see fast.go). For registered type t:
+	// gtid[t][gi] is the group table's type id (or -1 when the type
+	// does not touch group gi) and dem[t] lists the shape group index
+	// of each demand, in demand order, for assignment materialization.
+	types   []resource.VMType
+	typeIdx map[string]int
+	gtid    [][]int32
+	dem     [][]int32
+	feas    []bool // false: missing demand group or duplicate-group demands — fast path declines
+	fast    bool
 }
 
 var _ Ranker = (*Factored)(nil)
 
 // NewFactored builds one table per resource group of shape, with the
-// VM-type set projected onto each group.
+// VM-type set projected onto each group. Groups build in parallel —
+// each goroutine writes only its own slot, so the result (and the
+// first error, by group order) is deterministic.
 func NewFactored(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Factored, error) {
+	ng := shape.NumGroups()
 	f := &Factored{
 		shape:  shape,
-		groups: make([]*Table, shape.NumGroups()),
+		groups: make([]*Table, ng),
 	}
-	for gi := 0; gi < shape.NumGroups(); gi++ {
-		sub := shape.SubShape(gi)
-		var projected []resource.VMType
-		for _, vt := range vmTypes {
-			if p, ok := vt.Project(shape.Group(gi).Name); ok {
-				projected = append(projected, p)
+	errs := make([]error, ng)
+	var wg sync.WaitGroup
+	for gi := 0; gi < ng; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			sub := shape.SubShape(gi)
+			var projected []resource.VMType
+			for _, vt := range vmTypes {
+				if p, ok := vt.Project(shape.Group(gi).Name); ok {
+					projected = append(projected, p)
+				}
+			}
+			table, err := NewJoint(sub, projected, opts)
+			if err != nil {
+				errs[gi] = fmt.Errorf("ranktable: group %q: %w", shape.Group(gi).Name, err)
+				return
+			}
+			f.groups[gi] = table
+		}(gi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	f.bindTypes(vmTypes)
+	return f, nil
+}
+
+// bindTypes resolves every VM type of the build set against the group
+// tables, precomputing the per-group type ids and demand layout the
+// fast path indexes by.
+func (f *Factored) bindTypes(vmTypes []resource.VMType) {
+	f.fast = true
+	for _, tb := range f.groups {
+		if !tb.Fast() {
+			f.fast = false
+			return
+		}
+	}
+	f.typeIdx = make(map[string]int, len(vmTypes))
+	for _, vt := range vmTypes {
+		if _, dup := f.typeIdx[vt.Name]; dup {
+			continue
+		}
+		ti := len(f.types)
+		f.typeIdx[vt.Name] = ti
+		f.types = append(f.types, vt)
+
+		gtid := make([]int32, f.shape.NumGroups())
+		for gi := range gtid {
+			gtid[gi] = -1
+		}
+		dem := make([]int32, 0, len(vt.Demands))
+		feasible := true
+		seenGroup := make(map[string]bool, len(vt.Demands))
+		for _, d := range vt.Demands {
+			gi := f.shape.GroupIndex(d.Group)
+			if gi < 0 || seenGroup[d.Group] {
+				// A missing group means the type never fits; a
+				// duplicate group breaks the per-group independence
+				// the factored decomposition relies on. Both fall
+				// back to the enumeration path.
+				feasible = false
+				break
+			}
+			seenGroup[d.Group] = true
+			if len(d.Units) > 0 {
+				tid := f.groups[gi].space.TypeIndex(vt.Name)
+				if tid < 0 {
+					feasible = false
+					break
+				}
+				gtid[gi] = int32(tid)
+				dem = append(dem, int32(gi))
 			}
 		}
-		table, err := NewJoint(sub, projected, opts)
-		if err != nil {
-			return nil, fmt.Errorf("ranktable: group %q: %w", shape.Group(gi).Name, err)
-		}
-		f.groups[gi] = table
+		f.gtid = append(f.gtid, gtid)
+		f.dem = append(f.dem, dem)
+		f.feas = append(f.feas, feasible)
 	}
-	return f, nil
 }
 
 // Shape returns the PM shape of the ranker.

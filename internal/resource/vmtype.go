@@ -92,6 +92,29 @@ func (t VMType) TotalUnits() int {
 	return total
 }
 
+// Equal reports whether two VM types have the same name and identical
+// demands (group names, unit counts and amounts, in order). The
+// placer's id-indexed fast path uses it to verify that a VM's demand
+// really is the type a rank table precomputed, rather than trusting
+// the name alone.
+func (t VMType) Equal(o VMType) bool {
+	if t.Name != o.Name || len(t.Demands) != len(o.Demands) {
+		return false
+	}
+	for i, d := range t.Demands {
+		od := o.Demands[i]
+		if d.Group != od.Group || len(d.Units) != len(od.Units) {
+			return false
+		}
+		for k, u := range d.Units {
+			if od.Units[k] != u {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Project returns a copy of the VM type containing only the demand on
 // the named group (used by the factored ranker). The second return is
 // false when the type has no demand on the group.

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"pagerankvm/internal/obs"
+	"pagerankvm/internal/opt"
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+	"pagerankvm/internal/trace"
+)
+
+// runWithPlacerOpts is runSeeded with extra placer options injected,
+// for A/B-ing the id-indexed fast path against the string-key path
+// over a full simulation (churn, overload migrations, evictions).
+func runWithPlacerOpts(t *testing.T, seed int64, popts ...placement.PageRankOption) (Result, []obs.Event) {
+	t.Helper()
+	table, err := ranktable.NewJoint(smallShape(), []resource.VMType{
+		smallVMType("[1,1]"), smallVMType("[1,1,1,1]"),
+	}, ranktable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ranktable.NewRegistry()
+	reg.Add(pmSmall, table)
+
+	o := obs.New()
+	ring := obs.NewRingSink(1 << 14)
+	o.SetSink(ring)
+	opts := append([]placement.PageRankOption{placement.WithSeed(seed), placement.WithObserver(o)}, popts...)
+	prvm := placement.NewPageRankVM(reg, opts...)
+
+	const steps = 48
+	rng := rand.New(rand.NewSource(seed))
+	gen := trace.Google{Seed: seed, Mean: opt.F(0.55)}
+	var workloads []Workload
+	for i := 0; i < 24; i++ {
+		name := "[1,1]"
+		if rng.Intn(2) == 0 {
+			name = "[1,1,1,1]"
+		}
+		w := Workload{VM: newVM(i, name), Trace: gen.Series(i, steps)}
+		if rng.Intn(2) == 0 {
+			w.Start = rng.Intn(steps / 2)
+			if rng.Intn(2) == 0 {
+				w.End = w.Start + 1 + rng.Intn(steps/2)
+			}
+		}
+		workloads = append(workloads, w)
+	}
+
+	s, err := New(shortCfg(steps), newCluster(8), prvm, placement.RankEvictor{Placer: prvm}, models(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := ring.Events()
+	for i := range events {
+		events[i].Time = time.Time{}
+	}
+	return res, events
+}
+
+// TestSimFastPathEquivalence runs the whole simulator — initial
+// placement, interval monitoring, overload evictions and migrations —
+// with the fast path on and off and requires the identical Result and
+// the identical placement-decision trace (every chosen PM, every
+// score, every profile count, in order).
+func TestSimFastPathEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 7, 21} {
+		fastRes, fastEvents := runWithPlacerOpts(t, seed)
+		slowRes, slowEvents := runWithPlacerOpts(t, seed, placement.WithoutFastPath())
+
+		if !reflect.DeepEqual(fastRes, slowRes) {
+			t.Errorf("seed %d: simulation Result differs between fast and slow paths:\n  fast: %+v\n  slow: %+v",
+				seed, fastRes, slowRes)
+		}
+		if len(fastEvents) == 0 {
+			t.Fatalf("seed %d: no trace events captured", seed)
+		}
+		if !reflect.DeepEqual(fastEvents, slowEvents) {
+			n := len(fastEvents)
+			if len(slowEvents) < n {
+				n = len(slowEvents)
+			}
+			for i := 0; i < n; i++ {
+				if !reflect.DeepEqual(fastEvents[i], slowEvents[i]) {
+					t.Fatalf("seed %d: decision traces diverge at event %d:\n  fast: %+v\n  slow: %+v",
+						seed, i, fastEvents[i], slowEvents[i])
+				}
+			}
+			t.Fatalf("seed %d: decision traces differ in length: %d vs %d", seed, len(fastEvents), len(slowEvents))
+		}
+	}
+}
