@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race bench bench-all fmt
+.PHONY: check vet lint build test race chaos bench bench-all fmt
 
 # The full pre-merge gate: static analysis (go vet plus the project's
 # own prvm-lint analyzers), a clean build, and the test suite under the
@@ -23,6 +23,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Chaos suite (DESIGN.md §10): full testbed experiments under seeded
+# fault injection — drops, transport errors, agent crashes — with the
+# race detector on, asserting the controller degrades gracefully and
+# surviving agents stay consistent with its mirror.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos' ./internal/testbed/
 
 # Hot-path benchmark harness: runs the PlaceLookup / SpaceWire /
 # RanksCSR micro-benchmarks and writes the fast-vs-legacy comparison

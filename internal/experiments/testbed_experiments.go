@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"text/tabwriter"
+	"time"
 
 	"pagerankvm/internal/metrics"
 	"pagerankvm/internal/obs"
@@ -29,6 +30,15 @@ type TestbedConfig struct {
 	Steps int
 	// Transport selects in-memory pipes (default) or loopback TCP.
 	Transport testbed.Transport
+	// CallTimeout, CallRetries and RetryBackoff configure the
+	// controller's fault-tolerant call path (see testbed.Config).
+	CallTimeout  time.Duration
+	CallRetries  *int
+	RetryBackoff time.Duration
+	// Faults, when non-nil, wraps every controller-side connection in
+	// a seeded deterministic fault injector (the -faults flag of
+	// cmd/prvm-testbed).
+	Faults *testbed.FaultConfig
 	// Rank tunes the Profile→score table.
 	Rank ranktable.Options
 	// Obs, when non-nil, receives runtime telemetry from the table
@@ -100,12 +110,23 @@ func RunTestbedSweep(cfg TestbedConfig) (*TestbedSweep, error) {
 			}
 			for _, name := range AlgorithmNames {
 				placer, evictor := buildAlgorithmObserved(name, reg, seed, cfg.Obs)
-				h, err := testbed.Launch(cfg.NumPMs, cfg.Transport)
+				faults := cfg.Faults
+				if faults != nil && faults.Obs == nil {
+					f := *faults
+					f.Obs = cfg.Obs
+					faults = &f
+				}
+				h, err := testbed.LaunchWithFaults(cfg.NumPMs, cfg.Transport, faults)
 				if err != nil {
 					return nil, err
 				}
-				ctrl, err := testbed.NewController(testbed.Config{Steps: cfg.Steps, Obs: cfg.Obs},
-					h.Cluster(), placer, evictor, h.Conns(), jobs)
+				ctrl, err := testbed.NewController(testbed.Config{
+					Steps:        cfg.Steps,
+					CallTimeout:  cfg.CallTimeout,
+					CallRetries:  cfg.CallRetries,
+					RetryBackoff: cfg.RetryBackoff,
+					Obs:          cfg.Obs,
+				}, h.Cluster(), placer, evictor, h.Conns(), jobs)
 				if err != nil {
 					return nil, err
 				}

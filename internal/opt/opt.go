@@ -22,3 +22,15 @@ func Or(p *float64, def float64) float64 {
 	}
 	return *p
 }
+
+// I returns a pointer to v, for optional int fields whose zero value
+// is meaningful (e.g. "zero retries" vs "default retries").
+func I(v int) *int { return &v }
+
+// OrInt returns *p, or def when p is nil (the field was left unset).
+func OrInt(p *int, def int) int {
+	if p == nil {
+		return def
+	}
+	return *p
+}

@@ -219,6 +219,27 @@ func (c *Cluster) Release(vmID int) (Hosted, error) {
 	return h, nil
 }
 
+// Retire permanently removes an inactive PM from the inventory — the
+// testbed controller's response to a dead agent, whose machine must
+// never be offered to the placer again. The PM must be empty; Release
+// its VMs first. The inventory slice is rebuilt rather than mutated in
+// place so callers holding the original slice are unaffected.
+func (c *Cluster) Retire(pm *PM) error {
+	if pm.Active() {
+		return fmt.Errorf("placement: retire pm %d: still hosts %d VMs", pm.ID, pm.NumVMs())
+	}
+	c.removeUsed(pm)
+	c.removeUnused(pm)
+	pms := make([]*PM, 0, len(c.pms))
+	for _, p := range c.pms {
+		if p != pm {
+			pms = append(pms, p)
+		}
+	}
+	c.pms = pms
+	return nil
+}
+
 func (c *Cluster) removeUnused(pm *PM) {
 	for i, p := range c.unused {
 		if p == pm {

@@ -1,0 +1,60 @@
+package placement
+
+import (
+	"testing"
+
+	"pagerankvm/internal/resource"
+)
+
+func TestClusterRetire(t *testing.T) {
+	c := newCluster(3)
+	pm := c.PMs()[1]
+	vm := newVM(1, "[1,1]")
+	demand, _ := vm.DemandOn(pmSmall)
+	assign := resource.GreedyAssign(pm.Shape, pm.Used(), demand)
+	if err := c.Host(pm, vm, assign); err != nil {
+		t.Fatal(err)
+	}
+
+	// A PM still hosting VMs cannot be retired.
+	if err := c.Retire(pm); err == nil {
+		t.Fatal("Retire accepted an active PM")
+	}
+	if _, err := c.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Retire(pm); err != nil {
+		t.Fatalf("Retire of empty PM: %v", err)
+	}
+
+	// The retired PM is gone from the inventory and both free lists.
+	if got := len(c.PMs()); got != 2 {
+		t.Fatalf("inventory = %d PMs, want 2", got)
+	}
+	for _, p := range c.PMs() {
+		if p == pm {
+			t.Fatal("retired PM still in inventory")
+		}
+	}
+	for _, p := range c.UnusedPMs() {
+		if p == pm {
+			t.Fatal("retired PM still in unused list")
+		}
+	}
+	if c.NumUsed() != 0 {
+		t.Fatalf("NumUsed = %d, want 0", c.NumUsed())
+	}
+
+	// Placement never lands on a retired PM.
+	for i := 0; i < 16; i++ {
+		got := place(t, c, FirstFit{}, newVM(10+i, "[1,1]"))
+		if got == pm {
+			t.Fatal("placed a VM on a retired PM")
+		}
+	}
+	// Capacity shrank accordingly: the 2 surviving small PMs hold 16
+	// [1,1] VMs, the 17th is rejected.
+	if _, _, err := (FirstFit{}).Place(c, newVM(99, "[1,1]"), nil); err == nil {
+		t.Fatal("capacity of a retired PM still counted")
+	}
+}

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+
+	"pagerankvm/internal/placement"
+)
+
+// TestRelieveRehostOnFailedMigration pins the no-destination eviction
+// path: every PM is packed and overloaded, so each relieve attempt
+// releases a victim, finds no feasible destination, and must rehost it
+// on its source — counting exactly one failed migration per overloaded
+// PM per step and never dropping a VM.
+func TestRelieveRehostOnFailedMigration(t *testing.T) {
+	const steps = 3
+	c := newCluster(2)
+	// 8 wide VMs fill both PMs exactly; at level 1.0 every CPU
+	// dimension carries 4.0 > 0.9*4 = 3.6, so both PMs are overloaded
+	// at every step and no PM has room for anyone else's victim.
+	s, err := New(shortCfg(steps), c, placement.FirstFit{}, placement.MMTEvictor{}, models(),
+		constWorkloads(8, "[1,1,1,1]", 1.0, steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * steps; res.FailedMigrations != want {
+		t.Fatalf("FailedMigrations = %d, want %d (one per overloaded PM per step)", res.FailedMigrations, want)
+	}
+	if res.Migrations != 0 {
+		t.Fatalf("Migrations = %d, want 0 (nowhere to move)", res.Migrations)
+	}
+	if got := c.NumVMs(); got != 8 {
+		t.Fatalf("NumVMs = %d, want 8 (rehost must not lose the victim)", got)
+	}
+	// Every VM must still hold a committed assignment on some PM.
+	for id := 0; id < 8; id++ {
+		if _, ok := c.Locate(id); !ok {
+			t.Errorf("VM %d unplaced after rehost", id)
+		}
+	}
+}

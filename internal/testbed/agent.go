@@ -17,6 +17,13 @@ type Agent struct {
 	conn  Conn
 	jobs  map[int]JobSpec
 	done  chan struct{}
+
+	// lastSeq/lastReply implement at-most-once command execution: a
+	// retried request (same Seq as the last one handled) is answered
+	// from the cached reply instead of re-executed, so a kill or start
+	// whose reply was lost in the network is not applied twice.
+	lastSeq   uint64
+	lastReply Message
 }
 
 // NewAgent builds an agent for one emulated PM.
@@ -48,32 +55,49 @@ func (a *Agent) loop() {
 		if err != nil {
 			return
 		}
+		if msg.Seq != 0 && msg.Seq == a.lastSeq {
+			// Duplicate of the last handled request: the reply was lost
+			// and the controller retried. Resend the cached reply
+			// without re-executing the command.
+			a.send(a.lastReply)
+			continue
+		}
 		switch msg.Kind {
 		case KindTick:
-			a.reply(Message{Kind: KindStatus, Status: a.status(msg.Step)})
+			a.reply(msg, Message{Kind: KindStatus, Status: a.status(msg.Step)})
 		case KindStart:
 			if err := a.start(msg.Job); err != nil {
-				a.reply(Message{Kind: KindError, Err: err.Error()})
+				a.reply(msg, Message{Kind: KindError, Err: err.Error()})
 				continue
 			}
-			a.reply(Message{Kind: KindOK})
+			a.reply(msg, Message{Kind: KindOK})
 		case KindKill:
 			if _, ok := a.jobs[msg.JobID]; !ok {
-				a.reply(Message{Kind: KindError, Err: fmt.Sprintf("agent %d: no job %d", a.id, msg.JobID)})
+				a.reply(msg, Message{Kind: KindError, Err: fmt.Sprintf("agent %d: no job %d", a.id, msg.JobID)})
 				continue
 			}
 			delete(a.jobs, msg.JobID)
-			a.reply(Message{Kind: KindOK})
+			a.reply(msg, Message{Kind: KindOK})
 		case KindShutdown:
-			a.reply(Message{Kind: KindOK})
+			a.reply(msg, Message{Kind: KindOK})
 			return
 		default:
-			a.reply(Message{Kind: KindError, Err: fmt.Sprintf("agent %d: unexpected %v", a.id, msg.Kind)})
+			a.reply(msg, Message{Kind: KindError, Err: fmt.Sprintf("agent %d: unexpected %v", a.id, msg.Kind)})
 		}
 	}
 }
 
-func (a *Agent) reply(m Message) {
+// reply answers req with m, echoing the request's sequence number and
+// caching the reply for duplicate suppression.
+func (a *Agent) reply(req Message, m Message) {
+	m.Seq = req.Seq
+	if req.Seq != 0 {
+		a.lastSeq, a.lastReply = req.Seq, m
+	}
+	a.send(m)
+}
+
+func (a *Agent) send(m Message) {
 	// A failed reply means the controller is gone; the next Recv will
 	// fail and end the loop.
 	_ = a.conn.Send(m)
@@ -108,6 +132,21 @@ func (a *Agent) start(job *JobSpec) error {
 	a.jobs[job.ID] = *job
 	return nil
 }
+
+// JobIDs returns the ids of the jobs the agent hosts, sorted. Only
+// safe once the agent loop has exited (after Wait); tests use it to
+// check the controller's mirror against the agent's own state.
+func (a *Agent) JobIDs() []int {
+	ids := make([]int, 0, len(a.jobs))
+	for id := range a.jobs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ID returns the agent's PM id.
+func (a *Agent) ID() int { return a.id }
 
 func (a *Agent) used() resource.Vec {
 	v := a.shape.Zero()

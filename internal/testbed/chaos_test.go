@@ -1,0 +1,134 @@
+package testbed
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pagerankvm/internal/opt"
+)
+
+// chaosConfig is the controller tuning every chaos run uses: tight
+// deadlines, a few retries, fast backoff.
+func chaosConfig(steps int) Config {
+	return Config{
+		Steps:        steps,
+		CallTimeout:  25 * time.Millisecond,
+		CallRetries:  opt.I(3),
+		RetryBackoff: time.Millisecond,
+	}
+}
+
+// TestChaosFaultInjection runs the full controller pipeline under
+// seeded random drops and transport errors and asserts it never
+// errors out, never loses track of a job, and leaves surviving agents
+// exactly in sync with the controller's mirror. Run under -race via
+// `make chaos`.
+func TestChaosFaultInjection(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const steps = 30
+			placer, evictor := prvmStack(t)
+			h, err := LaunchWithFaults(4, TransportInMemory, &FaultConfig{
+				Seed:     seed,
+				DropProb: 0.01,
+				ErrProb:  0.03,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			jobs, err := GenJobs(NewJobVM, JobConfig{NumJobs: 24, Steps: steps, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctrl, err := NewController(chaosConfig(steps), h.Cluster(), placer, evictor, h.Conns(), jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := ctrl.Run()
+			if err != nil {
+				t.Fatalf("chaos run must degrade gracefully, got: %v", err)
+			}
+			h.Close()
+			t.Logf("result: %+v dead=%v", res, ctrl.DeadAgents())
+			assertMirrorAgentsConsistent(t, h, ctrl)
+		})
+	}
+}
+
+// TestChaosAllAgentsDie cuts every connection mid-run; the controller
+// must finish without error, retire everything, and account every
+// placed job as lost.
+func TestChaosAllAgentsDie(t *testing.T) {
+	const steps = 20
+	placer, evictor := prvmStack(t)
+	h, err := Launch(4, TransportInMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every conn dies within a few rounds: even an idle agent sees two
+	// operations (tick send + status recv) per round.
+	for id, conn := range h.Conns() {
+		h.Conns()[id] = NewFaultConn(conn, FaultConfig{CloseAfter: 8 + id})
+	}
+	jobs, err := GenJobs(NewJobVM, JobConfig{NumJobs: 16, Steps: steps, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(chaosConfig(steps), h.Cluster(), placer, evictor, h.Conns(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ctrl.Run()
+	if err != nil {
+		t.Fatalf("total agent loss must not abort the run: %v", err)
+	}
+	h.Close()
+	if res.DeadAgents != 4 {
+		t.Fatalf("DeadAgents = %d, want 4 (result %+v)", res.DeadAgents, res)
+	}
+	if got := h.Cluster().NumVMs(); got != 0 {
+		t.Fatalf("NumVMs = %d, want 0 (no PM left to host anything)", got)
+	}
+	if got := len(h.Cluster().PMs()); got != 0 {
+		t.Fatalf("inventory = %d PMs, want 0 (all retired)", got)
+	}
+}
+
+// TestChaosOverTCP exercises the fault-tolerant path over real
+// loopback gob/TCP conns. Injected errors only (no drops): an error
+// verdict never touches the gob stream, so retries see a clean
+// encoder state.
+func TestChaosOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP chaos skipped in -short")
+	}
+	const steps = 20
+	placer, evictor := prvmStack(t)
+	h, err := LaunchWithFaults(3, TransportTCP, &FaultConfig{
+		Seed:    11,
+		ErrProb: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := GenJobs(NewJobVM, JobConfig{NumJobs: 16, Steps: steps, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(steps)
+	cfg.CallTimeout = 0 // errors are synchronous; no deadline needed
+	ctrl, err := NewController(cfg, h.Cluster(), placer, evictor, h.Conns(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Run(); err != nil {
+		t.Fatalf("TCP chaos run: %v", err)
+	}
+	h.Close()
+	assertMirrorAgentsConsistent(t, h, ctrl)
+}

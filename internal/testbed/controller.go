@@ -3,6 +3,8 @@ package testbed
 import (
 	"errors"
 	"fmt"
+	"os"
+	"sort"
 	"time"
 
 	"pagerankvm/internal/obs"
@@ -25,6 +27,14 @@ type Job struct {
 	End   int
 }
 
+// DefaultCallRetries is how many times a failed call is retried before
+// the agent is declared dead.
+const DefaultCallRetries = 2
+
+// DefaultRetryBackoff is the initial backoff before the first retry;
+// it doubles on each subsequent retry.
+const DefaultRetryBackoff = 2 * time.Millisecond
+
 // Config parameterizes a testbed run.
 type Config struct {
 	// Steps is the number of control intervals (paper: 4 h at 10 s
@@ -35,8 +45,22 @@ type Config struct {
 	OverloadThreshold *float64
 	// CPUGroup names the trace-driven group; default "cpu".
 	CPUGroup string
+	// CallTimeout bounds one control-protocol round trip (request plus
+	// reply). Zero disables deadlines — safe for the in-memory
+	// transport without fault injection, where an agent always
+	// answers. Drop or delay faults require a timeout to be detected.
+	CallTimeout time.Duration
+	// CallRetries is how many times a failed round trip is retried
+	// (with exponential backoff) before the agent is declared dead;
+	// nil selects DefaultCallRetries. Set with opt.I — zero means fail
+	// fast on the first error.
+	CallRetries *int
+	// RetryBackoff is the sleep before the first retry, doubling per
+	// subsequent retry; 0 selects DefaultRetryBackoff.
+	RetryBackoff time.Duration
 	// Obs, when non-nil, records controller telemetry: per-request
-	// control-protocol latency and transport errors (testbed.*).
+	// control-protocol latency, transport errors, retries, timeouts,
+	// dead agents and recovery placements (testbed.*).
 	Obs *obs.Observer
 }
 
@@ -50,10 +74,17 @@ func (c Config) withDefaults() Config {
 	if c.CPUGroup == "" {
 		c.CPUGroup = "cpu"
 	}
+	if c.CallRetries == nil {
+		c.CallRetries = opt.I(DefaultCallRetries)
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = DefaultRetryBackoff
+	}
 	return c
 }
 
-// Result mirrors the metrics of the paper's Figures 4 and 8.
+// Result mirrors the metrics of the paper's Figures 4 and 8, plus the
+// fault-tolerance accounting of the emulated control plane.
 type Result struct {
 	PMsUsed         int
 	Migrations      int
@@ -63,12 +94,24 @@ type Result struct {
 	ActivePMSteps   int
 	ViolatedPMSteps int
 	OverloadEvents  int
+	// DeadAgents counts agents declared dead after exhausting call
+	// retries; their PMs are retired from the mirror.
+	DeadAgents int
+	// Recovered counts jobs re-placed onto surviving PMs after their
+	// agent died.
+	Recovered int
+	// Lost counts jobs that could not be recovered — no surviving PM
+	// had capacity, an agent rejected the recovery start, or a failed
+	// migration's restart slot vanished.
+	Lost int
 }
 
 // Controller is the centralized scheduler of the emulated testbed. It
 // keeps a local mirror of every agent's assignments (a
 // placement.Cluster), drives lock-step rounds, and reacts to the
-// loads the agents report.
+// loads the agents report. Agents that stop answering (after bounded
+// retries) are declared dead: their mirror VMs are re-placed onto
+// surviving PMs via the configured placer and the run continues.
 type Controller struct {
 	cfg     Config
 	cluster *placement.Cluster
@@ -78,6 +121,10 @@ type Controller struct {
 	jobs    []Job
 	traces  map[int]trace.Series
 	met     controllerMetrics
+
+	pms  []*placement.PM // inventory order, stable across retires
+	seqs map[int]uint64  // pm id -> last issued request sequence
+	dead map[int]bool    // pm id -> agent declared dead
 }
 
 // controllerMetrics pre-resolves the controller's instruments; all nil
@@ -85,8 +132,13 @@ type Controller struct {
 type controllerMetrics struct {
 	calls           *obs.Counter   // testbed.calls
 	transportErrors *obs.Counter   // testbed.transport_errors
+	retries         *obs.Counter   // testbed.retries
+	timeouts        *obs.Counter   // testbed.timeouts
 	migrations      *obs.Counter   // testbed.migrations
 	failedMoves     *obs.Counter   // testbed.failed_moves
+	deadAgents      *obs.Counter   // testbed.dead_agents
+	recoveredJobs   *obs.Counter   // testbed.recovered_jobs
+	lostJobs        *obs.Counter   // testbed.lost_jobs
 	callSeconds     *obs.Histogram // testbed.call_seconds
 }
 
@@ -94,11 +146,30 @@ func newControllerMetrics(o *obs.Observer) controllerMetrics {
 	return controllerMetrics{
 		calls:           o.Counter("testbed.calls"),
 		transportErrors: o.Counter("testbed.transport_errors"),
+		retries:         o.Counter("testbed.retries"),
+		timeouts:        o.Counter("testbed.timeouts"),
 		migrations:      o.Counter("testbed.migrations"),
 		failedMoves:     o.Counter("testbed.failed_moves"),
+		deadAgents:      o.Counter("testbed.dead_agents"),
+		recoveredJobs:   o.Counter("testbed.recovered_jobs"),
+		lostJobs:        o.Counter("testbed.lost_jobs"),
 		callSeconds:     o.Histogram("testbed.call_seconds", nil),
 	}
 }
+
+// agentDownError marks a call that exhausted its retries: the agent is
+// unreachable and the caller should trigger dead-agent recovery rather
+// than abort the run.
+type agentDownError struct {
+	pm  int
+	err error
+}
+
+func (e *agentDownError) Error() string {
+	return fmt.Sprintf("testbed: agent %d down: %v", e.pm, e.err)
+}
+
+func (e *agentDownError) Unwrap() error { return e.err }
 
 // NewController assembles a controller. The cluster's PMs must match
 // the agents one-to-one by id.
@@ -122,6 +193,9 @@ func NewController(cfg Config, cluster *placement.Cluster, placer placement.Plac
 		jobs:    jobs,
 		traces:  make(map[int]trace.Series, len(jobs)),
 		met:     newControllerMetrics(cfg.Obs),
+		pms:     append([]*placement.PM(nil), cluster.PMs()...),
+		seqs:    make(map[int]uint64, len(conns)),
+		dead:    make(map[int]bool),
 	}
 	for _, j := range jobs {
 		if j.VM == nil {
@@ -135,9 +209,22 @@ func NewController(cfg Config, cluster *placement.Cluster, placer placement.Plac
 	return c, nil
 }
 
+// DeadAgents returns the ids of agents declared dead, sorted.
+func (c *Controller) DeadAgents() []int {
+	ids := make([]int, 0, len(c.dead))
+	for id := range c.dead {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // Run drives the experiment and shuts the agents down afterwards.
+// Shutdown is best-effort and runs on every exit path, so a failed
+// round never leaks live agent goroutines.
 func (c *Controller) Run() (Result, error) {
 	var res Result
+	defer c.shutdown()
 	for step := 0; step < c.cfg.Steps; step++ {
 		if err := c.round(step, &res); err != nil {
 			return res, err
@@ -146,9 +233,6 @@ func (c *Controller) Run() (Result, error) {
 	res.PMsUsed = c.cluster.MaxUsed
 	if res.ActivePMSteps > 0 {
 		res.SLOViolationPct = 100 * float64(res.ViolatedPMSteps) / float64(res.ActivePMSteps)
-	}
-	if err := c.shutdown(); err != nil {
-		return res, err
 	}
 	return res, nil
 }
@@ -159,7 +243,11 @@ func (c *Controller) round(step int, res *Result) error {
 		if j.End == step && j.End > 0 {
 			if _, placed := c.cluster.Locate(j.VM.ID); placed {
 				if err := c.kill(j.VM.ID); err != nil {
-					return err
+					// The job was departing anyway; a dead agent here
+					// only orphans the PM's other jobs.
+					if !c.recoverIfDown(err, res) {
+						return err
+					}
 				}
 			}
 		}
@@ -178,22 +266,31 @@ func (c *Controller) round(step int, res *Result) error {
 			return fmt.Errorf("testbed: place job %d: %w", j.VM.ID, err)
 		}
 		if err := c.startOn(pm, j.VM, assign); err != nil {
-			return err
+			// Recovery re-places the arriving job together with the
+			// dead agent's other mirror VMs.
+			if !c.recoverIfDown(err, res) {
+				return err
+			}
 		}
 	}
 
 	// Tick every active agent and react to the reported loads.
 	active := append([]*placement.PM(nil), c.cluster.UsedPMs()...)
 	for _, pm := range active {
-		if !pm.Active() {
+		if c.dead[pm.ID] || !pm.Active() {
 			continue
 		}
 		status, err := c.tick(pm.ID, step)
 		if err != nil {
-			return err
+			if !c.recoverIfDown(err, res) {
+				return err
+			}
+			continue
 		}
 		if err := c.handleStatus(pm, status, step, res); err != nil {
-			return err
+			if !c.recoverIfDown(err, res) {
+				return err
+			}
 		}
 	}
 	return nil
@@ -233,26 +330,140 @@ func (c *Controller) handleStatus(pm *placement.PM, status *Status, step int, re
 	if !ok {
 		return nil
 	}
+	vm := c.jobVM(victimID)
+	if vm == nil {
+		// The mirror names a victim the job table does not know: skip
+		// the migration rather than killing a job we cannot restart.
+		return nil
+	}
 	if err := c.kill(victimID); err != nil {
+		var down *agentDownError
+		if errors.As(err, &down) {
+			// The victim was already released from the mirror by kill;
+			// recover it alongside the dead agent's remaining jobs.
+			c.recoverAgent(down, res)
+			c.replaceVMs([]*placement.VM{vm}, res)
+			return nil
+		}
 		return err
 	}
-	vm := c.jobVM(victimID)
 	dest, assign, err := c.placer.Place(c.cluster, vm, pm)
 	if err != nil {
 		// Nowhere to continue the job: restart it on the source.
 		res.FailedMoves++
 		c.met.failedMoves.Inc()
 		if assign := c.sourceAssign(pm, vm); assign != nil {
-			return c.startOn(pm, vm, assign)
+			if err := c.startOn(pm, vm, assign); err != nil {
+				if !c.recoverIfDown(err, res) {
+					return err
+				}
+			}
+			return nil
 		}
+		// The restart slot vanished: the job is gone from both mirror
+		// and agent, so account it instead of dropping it silently.
+		res.Lost++
+		c.met.lostJobs.Inc()
 		return nil
 	}
 	if err := c.startOn(dest, vm, assign); err != nil {
-		return err
+		if !c.recoverIfDown(err, res) {
+			return err
+		}
+		return nil
 	}
 	res.Migrations++
 	c.met.migrations.Inc()
 	return nil
+}
+
+// recoverIfDown converts an agent-down error into recovery (and
+// reports true); any other error is the caller's to propagate.
+func (c *Controller) recoverIfDown(err error, res *Result) bool {
+	var down *agentDownError
+	if !errors.As(err, &down) {
+		return false
+	}
+	c.recoverAgent(down, res)
+	return true
+}
+
+// recoverAgent handles a dead agent: its mirror VMs are released, the
+// PM is retired, and the orphaned jobs are re-placed onto surviving
+// PMs via the configured placer (Algorithm 2 under PageRankVM).
+func (c *Controller) recoverAgent(down *agentDownError, res *Result) {
+	c.replaceVMs(c.markDead(down.pm, res), res)
+}
+
+// markDead declares pm's agent dead: the conn is closed (fencing the
+// agent if it is merely slow), the mirror VMs are released and the PM
+// is retired from the cluster. Returns the orphaned VMs in ascending
+// id order; nil if the agent was already dead.
+func (c *Controller) markDead(pmID int, res *Result) []*placement.VM {
+	if c.dead[pmID] {
+		return nil
+	}
+	c.dead[pmID] = true
+	res.DeadAgents++
+	c.met.deadAgents.Inc()
+	_ = c.conns[pmID].Close()
+	var pm *placement.PM
+	for _, p := range c.pms {
+		if p.ID == pmID {
+			pm = p
+			break
+		}
+	}
+	if pm == nil {
+		return nil
+	}
+	ids := make([]int, 0, len(pm.VMs()))
+	for id := range pm.VMs() {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	orphans := make([]*placement.VM, 0, len(ids))
+	for _, id := range ids {
+		h, err := c.cluster.Release(id)
+		if err != nil {
+			continue
+		}
+		orphans = append(orphans, h.VM)
+	}
+	_ = c.cluster.Retire(pm)
+	return orphans
+}
+
+// replaceVMs re-places orphaned jobs onto surviving PMs, counting each
+// success as Recovered and each failure as Lost. A destination agent
+// dying mid-recovery enqueues its own orphans.
+func (c *Controller) replaceVMs(queue []*placement.VM, res *Result) {
+	for len(queue) > 0 {
+		vm := queue[0]
+		queue = queue[1:]
+		pm, assign, err := c.placer.Place(c.cluster, vm, nil)
+		if err != nil {
+			res.Lost++
+			c.met.lostJobs.Inc()
+			continue
+		}
+		if err := c.startOn(pm, vm, assign); err != nil {
+			var down *agentDownError
+			if errors.As(err, &down) {
+				// The destination died too; its orphans (including vm,
+				// hosted just before the failed call) rejoin the queue.
+				queue = append(queue, c.markDead(down.pm, res)...)
+				continue
+			}
+			// The agent rejected the recovery start: mirror rolled back
+			// by startOn, job unrecoverable.
+			res.Lost++
+			c.met.lostJobs.Inc()
+			continue
+		}
+		res.Recovered++
+		c.met.recoveredJobs.Inc()
+	}
 }
 
 func (c *Controller) jobVM(id int) *placement.VM {
@@ -272,7 +483,9 @@ func (c *Controller) sourceAssign(pm *placement.PM, vm *placement.VM) resource.A
 	return resource.GreedyAssign(pm.Shape, pm.Used(), demand)
 }
 
-// startOn updates the mirror and instructs the agent.
+// startOn updates the mirror and instructs the agent. On an agent
+// rejection the mirror entry is rolled back before returning, so
+// mirror and agent never disagree about a job the agent refused.
 func (c *Controller) startOn(pm *placement.PM, vm *placement.VM, assign resource.Assignment) error {
 	if err := c.cluster.Host(pm, vm, assign); err != nil {
 		return fmt.Errorf("testbed: host job %d on pm %d: %w", vm.ID, pm.ID, err)
@@ -286,6 +499,7 @@ func (c *Controller) startOn(pm *placement.PM, vm *placement.VM, assign resource
 		return err
 	}
 	if reply.Kind != KindOK {
+		_, _ = c.cluster.Release(vm.ID)
 		return fmt.Errorf("testbed: agent %d rejected job %d: %s", pm.ID, vm.ID, reply.Err)
 	}
 	return nil
@@ -321,8 +535,38 @@ func (c *Controller) tick(pmID, step int) (*Status, error) {
 	return reply.Status, nil
 }
 
+// call performs one at-most-once request: the message is stamped with
+// a per-connection sequence number and retried with exponential
+// backoff on transport failure (the agent answers duplicates from its
+// reply cache). Exhausted retries return an *agentDownError.
 func (c *Controller) call(pmID int, m Message) (Message, error) {
+	if c.dead[pmID] {
+		return Message{}, &agentDownError{pm: pmID, err: errors.New("agent already dead")}
+	}
 	conn := c.conns[pmID]
+	c.seqs[pmID]++
+	m.Seq = c.seqs[pmID]
+	retries := opt.OrInt(c.cfg.CallRetries, DefaultCallRetries)
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			c.met.retries.Inc()
+			time.Sleep(c.cfg.RetryBackoff << (attempt - 1))
+		}
+		var reply Message
+		reply, err = c.timedRoundTrip(conn, m)
+		if err == nil {
+			return reply, nil
+		}
+		c.met.transportErrors.Inc()
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			c.met.timeouts.Inc()
+		}
+	}
+	return Message{}, &agentDownError{pm: pmID, err: err}
+}
+
+func (c *Controller) timedRoundTrip(conn Conn, m Message) (Message, error) {
 	c.met.calls.Inc()
 	if c.met.callSeconds == nil {
 		return c.roundTrip(conn, m)
@@ -330,28 +574,46 @@ func (c *Controller) call(pmID int, m Message) (Message, error) {
 	start := time.Now()
 	reply, err := c.roundTrip(conn, m)
 	c.met.callSeconds.Observe(time.Since(start).Seconds())
-	if err != nil {
-		c.met.transportErrors.Inc()
-	}
 	return reply, err
 }
 
+// roundTrip sends one request and waits for its reply, arming the
+// conn's deadline when CallTimeout is set and discarding stale replies
+// left over from abandoned attempts (their Seq is lower).
 func (c *Controller) roundTrip(conn Conn, m Message) (Message, error) {
+	if c.cfg.CallTimeout > 0 {
+		if d, ok := conn.(deadlineSetter); ok {
+			_ = d.SetDeadline(time.Now().Add(c.cfg.CallTimeout))
+		}
+	}
 	if err := conn.Send(m); err != nil {
 		return Message{}, err
 	}
-	return conn.Recv()
+	for {
+		reply, err := conn.Recv()
+		if err != nil {
+			return Message{}, err
+		}
+		if m.Seq != 0 && reply.Seq < m.Seq {
+			continue // stale reply from an earlier timed-out attempt
+		}
+		return reply, nil
+	}
 }
 
-func (c *Controller) shutdown() error {
-	for _, pm := range c.cluster.PMs() {
-		reply, err := c.call(pm.ID, Message{Kind: KindShutdown})
-		if err != nil {
-			return err
+// shutdown asks every surviving agent to exit and then closes every
+// connection. Best-effort by design: a failed shutdown call only means
+// the conn close terminates that agent's loop instead, so Run can
+// always invoke it — including on error exits — without leaking agent
+// goroutines.
+func (c *Controller) shutdown() {
+	for _, pm := range c.pms {
+		if c.dead[pm.ID] {
+			continue
 		}
-		if reply.Kind != KindOK {
-			return fmt.Errorf("testbed: agent %d shutdown: %s", pm.ID, reply.Err)
-		}
+		_, _ = c.call(pm.ID, Message{Kind: KindShutdown})
 	}
-	return nil
+	for _, conn := range c.conns {
+		_ = conn.Close()
+	}
 }

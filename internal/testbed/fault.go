@@ -1,0 +1,208 @@
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pagerankvm/internal/obs"
+)
+
+// FaultConfig parameterizes a deterministic fault-injecting Conn
+// wrapper. All randomness derives from Seed, so for a fixed seed the
+// same controller message sequence hits the same faults — chaos runs
+// are reproducible, mirroring how internal/trace fakes workloads.
+//
+// Drop and delay faults stall the caller until its deadline, so they
+// are only useful together with Config.CallTimeout (the -faults flag
+// enforces this).
+type FaultConfig struct {
+	// Seed drives the injector's private RNG.
+	Seed int64
+	// DropProb is the probability a Send is silently discarded (and a
+	// Recv consumes and discards an inbound message).
+	DropProb float64
+	// ErrProb is the probability a Send or Recv fails immediately with
+	// an injected transport error.
+	ErrProb float64
+	// Delay is the extra latency injected with probability DelayProb.
+	Delay time.Duration
+	// DelayProb is the probability an operation is delayed by Delay.
+	DelayProb float64
+	// CloseAfter closes the underlying conn after this many operations
+	// (0 disables) — an agent crash at a deterministic point.
+	CloseAfter int
+	// Obs, when non-nil, counts injected faults under
+	// testbed.faults_injected.
+	Obs *obs.Observer
+}
+
+// active reports whether the config injects anything at all.
+func (f FaultConfig) active() bool {
+	return f.DropProb > 0 || f.ErrProb > 0 || (f.DelayProb > 0 && f.Delay > 0) || f.CloseAfter > 0
+}
+
+// NewFaultConn wraps inner with seeded fault injection. A config that
+// injects nothing returns inner unchanged.
+func NewFaultConn(inner Conn, cfg FaultConfig) Conn {
+	if !cfg.active() {
+		return inner
+	}
+	return &faultConn{
+		inner:    inner,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		injected: cfg.Obs.Counter("testbed.faults_injected"),
+	}
+}
+
+// faultConn injects faults on the controller side of a connection. The
+// mutex serializes the RNG and operation counter; the controller
+// drives each conn from one goroutine, but Close may race with it.
+type faultConn struct {
+	inner Conn
+	cfg   FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	ops int
+
+	injected *obs.Counter
+}
+
+// verdict is one pre-rolled fault decision.
+type verdict struct {
+	drop  bool
+	err   bool
+	delay bool
+	close bool
+}
+
+// roll draws the fault decisions for one operation under the lock, so
+// the consumed randomness per operation is fixed regardless of which
+// faults fire.
+func (f *faultConn) roll() verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	v := verdict{
+		drop:  f.rng.Float64() < f.cfg.DropProb,
+		err:   f.rng.Float64() < f.cfg.ErrProb,
+		delay: f.rng.Float64() < f.cfg.DelayProb,
+		close: f.cfg.CloseAfter > 0 && f.ops > f.cfg.CloseAfter,
+	}
+	return v
+}
+
+func (f *faultConn) apply(v verdict, op string) (handled bool, err error) {
+	if v.close {
+		f.injected.Inc()
+		_ = f.inner.Close()
+		return true, fmt.Errorf("testbed: fault: conn closed after %d ops", f.cfg.CloseAfter)
+	}
+	if v.err {
+		f.injected.Inc()
+		return true, fmt.Errorf("testbed: fault: injected %s error", op)
+	}
+	if v.delay {
+		f.injected.Inc()
+		time.Sleep(f.cfg.Delay)
+	}
+	return false, nil
+}
+
+func (f *faultConn) Send(m Message) error {
+	v := f.roll()
+	if handled, err := f.apply(v, "send"); handled {
+		return err
+	}
+	if v.drop {
+		f.injected.Inc()
+		return nil // silently lost in the network
+	}
+	return f.inner.Send(m)
+}
+
+func (f *faultConn) Recv() (Message, error) {
+	for {
+		v := f.roll()
+		if handled, err := f.apply(v, "recv"); handled {
+			return Message{}, err
+		}
+		m, err := f.inner.Recv()
+		if err != nil {
+			return Message{}, err
+		}
+		if v.drop {
+			f.injected.Inc()
+			continue // reply lost in the network; keep waiting
+		}
+		return m, nil
+	}
+}
+
+func (f *faultConn) Close() error { return f.inner.Close() }
+
+// SetDeadline passes deadlines through to the wrapped conn, so
+// injected delays still respect the caller's call timeout.
+func (f *faultConn) SetDeadline(t time.Time) error {
+	if d, ok := f.inner.(deadlineSetter); ok {
+		return d.SetDeadline(t)
+	}
+	return nil
+}
+
+// ParseFaultSpec parses the -faults flag syntax: comma-separated
+// key=value pairs, e.g.
+//
+//	"seed=7,drop=0.01,err=0.02,delay=5ms,delayprob=0.05,close=500"
+//
+// Unknown keys are errors; omitted keys stay zero.
+func ParseFaultSpec(spec string) (FaultConfig, error) {
+	var cfg FaultConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("testbed: fault spec %q: want key=value", part)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			cfg.DropProb, err = parseProb(val)
+		case "err":
+			cfg.ErrProb, err = parseProb(val)
+		case "delay":
+			cfg.Delay, err = time.ParseDuration(val)
+		case "delayprob":
+			cfg.DelayProb, err = parseProb(val)
+		case "close":
+			cfg.CloseAfter, err = strconv.Atoi(val)
+		default:
+			return cfg, fmt.Errorf("testbed: fault spec: unknown key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("testbed: fault spec %q: %w", part, err)
+		}
+	}
+	return cfg, nil
+}
+
+func parseProb(val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v out of [0,1]", p)
+	}
+	return p, nil
+}

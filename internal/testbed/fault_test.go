@@ -1,0 +1,167 @@
+package testbed
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"pagerankvm/internal/obs"
+)
+
+func TestFaultConnInactiveIsIdentity(t *testing.T) {
+	ctrl, _ := Pipe()
+	if got := NewFaultConn(ctrl, FaultConfig{Seed: 42}); got != ctrl {
+		t.Fatal("a config injecting nothing must return the inner conn unchanged")
+	}
+}
+
+func TestFaultConnDropSend(t *testing.T) {
+	ctrl, agent := Pipe()
+	fc := NewFaultConn(ctrl, FaultConfig{Seed: 1, DropProb: 1})
+	if err := fc.Send(Message{Kind: KindTick}); err != nil {
+		t.Fatalf("a dropped send must look successful to the caller: %v", err)
+	}
+	// The message must never arrive: a deadline-armed Recv on the
+	// agent side times out instead of delivering it.
+	ds := agent.(deadlineSetter)
+	if err := ds.SetDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.Recv(); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Recv after dropped send: err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestFaultConnDropRecv(t *testing.T) {
+	ctrl, agent := Pipe()
+	fc := NewFaultConn(ctrl, FaultConfig{Seed: 1, DropProb: 1})
+	if err := agent.Send(Message{Kind: KindStatus}); err != nil {
+		t.Fatal(err)
+	}
+	// The injector consumes and discards the inbound reply, then keeps
+	// waiting; the armed deadline must eventually fire.
+	if err := fc.(deadlineSetter).SetDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Recv(); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Recv with dropped replies: err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestFaultConnErr(t *testing.T) {
+	ctrl, _ := Pipe()
+	o := obs.New()
+	fc := NewFaultConn(ctrl, FaultConfig{Seed: 1, ErrProb: 1, Obs: o})
+	if err := fc.Send(Message{Kind: KindTick}); err == nil {
+		t.Fatal("ErrProb=1 must fail every send")
+	}
+	if _, err := fc.Recv(); err == nil {
+		t.Fatal("ErrProb=1 must fail every recv")
+	}
+	if got := o.Counter("testbed.faults_injected").Value(); got != 2 {
+		t.Fatalf("faults_injected = %d, want 2", got)
+	}
+}
+
+func TestFaultConnDelay(t *testing.T) {
+	ctrl, agent := Pipe()
+	fc := NewFaultConn(ctrl, FaultConfig{Seed: 1, Delay: 30 * time.Millisecond, DelayProb: 1})
+	start := time.Now()
+	if err := fc.Send(Message{Kind: KindTick}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("delayed send took %v, want >= 30ms", elapsed)
+	}
+	if _, err := agent.Recv(); err != nil {
+		t.Fatalf("a delayed message must still arrive: %v", err)
+	}
+}
+
+func TestFaultConnCloseAfter(t *testing.T) {
+	ctrl, agent := Pipe()
+	fc := NewFaultConn(ctrl, FaultConfig{Seed: 1, CloseAfter: 2})
+	for i := 0; i < 2; i++ {
+		if err := fc.Send(Message{Kind: KindTick}); err != nil {
+			t.Fatalf("op %d before CloseAfter: %v", i+1, err)
+		}
+		if _, err := agent.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fc.Send(Message{Kind: KindTick}); err == nil {
+		t.Fatal("op past CloseAfter must fail")
+	}
+	// The underlying conn is really closed — the agent side sees it.
+	if _, err := agent.Recv(); err == nil {
+		t.Fatal("agent side must observe the close")
+	}
+}
+
+// TestFaultConnDeterministic checks two injectors with the same seed
+// produce the same fault pattern over the same operation sequence.
+func TestFaultConnDeterministic(t *testing.T) {
+	pattern := func() []bool {
+		ctrl, agent := Pipe()
+		defer ctrl.Close()
+		go func() { // drain successful sends so the pipe never fills
+			for {
+				if _, err := agent.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		fc := NewFaultConn(ctrl, FaultConfig{Seed: 99, ErrProb: 0.3})
+		var outcomes []bool
+		for i := 0; i < 200; i++ {
+			outcomes = append(outcomes, fc.Send(Message{Kind: KindTick}) != nil)
+		}
+		return outcomes
+	}
+	if a, b := pattern(), pattern(); !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must reproduce the same fault pattern")
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	cfg, err := ParseFaultSpec("seed=7, drop=0.01,err=0.02,delay=5ms,delayprob=0.05,close=500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FaultConfig{
+		Seed:       7,
+		DropProb:   0.01,
+		ErrProb:    0.02,
+		Delay:      5 * time.Millisecond,
+		DelayProb:  0.05,
+		CloseAfter: 500,
+	}
+	if !reflect.DeepEqual(cfg, want) {
+		t.Fatalf("ParseFaultSpec = %+v, want %+v", cfg, want)
+	}
+
+	empty, err := ParseFaultSpec("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.active() {
+		t.Fatal("empty spec must inject nothing")
+	}
+
+	for _, bad := range []string{
+		"bogus=1",       // unknown key
+		"drop",          // not key=value
+		"drop=1.5",      // probability out of range
+		"err=-0.1",      // probability out of range
+		"delay=fast",    // not a duration
+		"close=many",    // not an int
+		"seed=2b",       // not an int64
+		"delayprob=x,y", // garbage
+	} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("ParseFaultSpec(%q): expected error", bad)
+		}
+	}
+}

@@ -61,19 +61,31 @@ const (
 
 // Harness owns the agents of one experiment.
 type Harness struct {
-	cluster *placement.Cluster
-	conns   map[int]Conn
-	agents  []*Agent
+	cluster    *placement.Cluster
+	conns      map[int]Conn
+	agentConns map[int]Conn
+	agents     []*Agent
 }
 
 // Launch starts numPMs agents over the chosen transport and builds
 // the matching (empty) cluster mirror.
 func Launch(numPMs int, tr Transport) (*Harness, error) {
+	return LaunchWithFaults(numPMs, tr, nil)
+}
+
+// LaunchWithFaults is Launch with every controller-side connection
+// wrapped in a deterministic fault injector (nil faults means none).
+// Each PM's injector gets its own seed derived from faults.Seed, so a
+// fixed seed reproduces the same fault pattern across runs.
+func LaunchWithFaults(numPMs int, tr Transport, faults *FaultConfig) (*Harness, error) {
 	if numPMs <= 0 {
 		return nil, fmt.Errorf("testbed: numPMs must be positive, got %d", numPMs)
 	}
 	shape := PMShape()
-	h := &Harness{conns: make(map[int]Conn, numPMs)}
+	h := &Harness{
+		conns:      make(map[int]Conn, numPMs),
+		agentConns: make(map[int]Conn, numPMs),
+	}
 	pms := make([]*placement.PM, numPMs)
 	for i := 0; i < numPMs; i++ {
 		var ctrlEnd, agentEnd Conn
@@ -87,10 +99,16 @@ func Launch(numPMs int, tr Transport) (*Harness, error) {
 		default:
 			ctrlEnd, agentEnd = Pipe()
 		}
+		if faults != nil {
+			perPM := *faults
+			perPM.Seed = faults.Seed*1_000_003 + int64(i)
+			ctrlEnd = NewFaultConn(ctrlEnd, perPM)
+		}
 		agent := NewAgent(i, shape, agentEnd)
 		agent.Start()
 		h.agents = append(h.agents, agent)
 		h.conns[i] = ctrlEnd
+		h.agentConns[i] = agentEnd
 		pms[i] = placement.NewPM(i, PMType, shape)
 	}
 	h.cluster = placement.NewCluster(pms)
@@ -103,13 +121,29 @@ func (h *Harness) Cluster() *placement.Cluster { return h.cluster }
 // Conns returns the controller-side connections keyed by PM id.
 func (h *Harness) Conns() map[int]Conn { return h.conns }
 
+// Agents returns the launched agents, indexed by PM id.
+func (h *Harness) Agents() []*Agent { return h.agents }
+
+// KillAgent emulates an agent crash mid-experiment: its connection is
+// closed, which ends the agent loop; the controller discovers the
+// death on its next call to that agent and recovers its jobs.
+func (h *Harness) KillAgent(id int) {
+	if conn, ok := h.agentConns[id]; ok {
+		_ = conn.Close()
+	}
+}
+
 // Close waits for the agents to exit and closes the connections. Call
-// after Controller.Run (which shuts the agents down).
+// after Controller.Run (which shuts the agents down, closing every
+// conn — even toward agents that stopped answering).
 func (h *Harness) Close() {
 	for _, a := range h.agents {
 		a.Wait()
 	}
 	for _, c := range h.conns {
+		_ = c.Close()
+	}
+	for _, c := range h.agentConns {
 		_ = c.Close()
 	}
 }

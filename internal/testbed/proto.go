@@ -79,8 +79,16 @@ type Status struct {
 }
 
 // Message is the single wire envelope for all protocol messages.
+//
+// Seq gives the control protocol at-most-once semantics under retries:
+// the controller stamps each request with a per-connection increasing
+// sequence number, the agent echoes it on the reply and answers a
+// duplicate of its last seen Seq from a cached reply instead of
+// re-executing the command. Requests with Seq 0 (hand-rolled test
+// traffic) bypass deduplication.
 type Message struct {
 	Kind   MsgKind
+	Seq    uint64
 	Step   int
 	Job    *JobSpec
 	JobID  int

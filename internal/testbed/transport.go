@@ -4,7 +4,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"os"
 	"sync"
+	"time"
 )
 
 // Conn is a bidirectional message pipe between the controller and one
@@ -15,12 +17,25 @@ type Conn interface {
 	Close() error
 }
 
+// deadlineSetter is the optional deadline facet of a Conn. Both built-in
+// transports implement it; the controller arms it per call when
+// Config.CallTimeout is set and skips conns that do not support it.
+type deadlineSetter interface {
+	// SetDeadline bounds subsequent Send/Recv calls; the zero time
+	// clears it. An expired deadline makes them fail with an error
+	// satisfying errors.Is(err, os.ErrDeadlineExceeded).
+	SetDeadline(t time.Time) error
+}
+
 // Pipe returns an in-memory connected pair: the controller uses one
-// end, the agent the other. Sends block until received (lock-step
-// protocol), like an unbuffered socket.
+// end, the agent the other. Each direction buffers one message, so a
+// replier never blocks the other side's next request — the slack a
+// kernel socket buffer provides on the TCP transport, and what lets a
+// timed-out call be retried without deadlocking against an agent still
+// holding the stale reply.
 func Pipe() (controller, agent Conn) {
-	a2c := make(chan Message)
-	c2a := make(chan Message)
+	a2c := make(chan Message, 1)
+	c2a := make(chan Message, 1)
 	done := make(chan struct{})
 	stop := &sync.Once{}
 	return &chanConn{send: c2a, recv: a2c, done: done, stop: stop},
@@ -32,23 +47,82 @@ type chanConn struct {
 	recv chan Message
 	done chan struct{}
 	stop *sync.Once
+
+	mu       sync.Mutex
+	deadline time.Time
+}
+
+// SetDeadline implements deadlineSetter.
+func (c *chanConn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deadline = t
+	return nil
+}
+
+// expiry returns a channel that fires at the deadline (nil when no
+// deadline is set, which never fires in a select) plus the timer to
+// stop.
+func (c *chanConn) expiry() (<-chan time.Time, *time.Timer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.deadline.IsZero() {
+		return nil, nil
+	}
+	tm := time.NewTimer(time.Until(c.deadline))
+	return tm.C, tm
+}
+
+// checkNow reports a closed conn or an already-expired deadline before
+// the main select: with buffered directions the send case can be ready
+// at the same time, and a select would pick between them at random.
+func (c *chanConn) checkNow(op string) error {
+	select {
+	case <-c.done:
+		return fmt.Errorf("testbed: %s on closed conn", op)
+	default:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.deadline.IsZero() && !time.Now().Before(c.deadline) {
+		return fmt.Errorf("testbed: %s: %w", op, os.ErrDeadlineExceeded)
+	}
+	return nil
 }
 
 func (c *chanConn) Send(m Message) error {
+	if err := c.checkNow("send"); err != nil {
+		return err
+	}
+	expire, tm := c.expiry()
+	if tm != nil {
+		defer tm.Stop()
+	}
 	select {
 	case c.send <- m:
 		return nil
 	case <-c.done:
 		return fmt.Errorf("testbed: send on closed conn")
+	case <-expire:
+		return fmt.Errorf("testbed: send: %w", os.ErrDeadlineExceeded)
 	}
 }
 
 func (c *chanConn) Recv() (Message, error) {
+	if err := c.checkNow("recv"); err != nil {
+		return Message{}, err
+	}
+	expire, tm := c.expiry()
+	if tm != nil {
+		defer tm.Stop()
+	}
 	select {
 	case m := <-c.recv:
 		return m, nil
 	case <-c.done:
 		return Message{}, fmt.Errorf("testbed: recv on closed conn")
+	case <-expire:
+		return Message{}, fmt.Errorf("testbed: recv: %w", os.ErrDeadlineExceeded)
 	}
 }
 
@@ -69,6 +143,9 @@ type gobConn struct {
 func NewGobConn(c net.Conn) Conn {
 	return &gobConn{conn: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
 }
+
+// SetDeadline implements deadlineSetter on the underlying socket.
+func (g *gobConn) SetDeadline(t time.Time) error { return g.conn.SetDeadline(t) }
 
 func (g *gobConn) Send(m Message) error {
 	if err := g.enc.Encode(m); err != nil {
@@ -107,6 +184,12 @@ func DialTCPPair() (controller, agent Conn, err error) {
 	}()
 	dialed, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
+		// Unblock the pending Accept, then drain it: a half-open
+		// accepted conn would otherwise leak with the goroutine.
+		ln.Close()
+		if res := <-accepted; res.conn != nil {
+			res.conn.Close()
+		}
 		return nil, nil, fmt.Errorf("testbed: dial: %w", err)
 	}
 	res := <-accepted

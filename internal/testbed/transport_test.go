@@ -1,7 +1,10 @@
 package testbed
 
 import (
+	"errors"
+	"os"
 	"testing"
+	"time"
 
 	"pagerankvm/internal/resource"
 )
@@ -102,6 +105,58 @@ type protoError struct {
 }
 
 func (e *protoError) Error() string { return e.msg }
+
+func TestPipeDeadline(t *testing.T) {
+	ctrl, _ := Pipe()
+	ds, ok := ctrl.(deadlineSetter)
+	if !ok {
+		t.Fatal("pipe conns must support deadlines")
+	}
+	if err := ds.SetDeadline(time.Now().Add(15 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := ctrl.Recv(); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Recv past deadline: err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline fired far too late")
+	}
+	// An already expired deadline fails sends immediately too.
+	if err := ds.SetDeadline(time.Now().Add(-time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Send(Message{Kind: KindTick}); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Send past deadline: err = %v, want deadline exceeded", err)
+	}
+	// The zero time clears the deadline again.
+	if err := ds.SetDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Send(Message{Kind: KindTick}); err != nil {
+		t.Fatalf("Send after clearing deadline: %v", err)
+	}
+}
+
+func TestTCPDeadline(t *testing.T) {
+	ctrl, agent, err := DialTCPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	defer agent.Close()
+
+	ds, ok := ctrl.(deadlineSetter)
+	if !ok {
+		t.Fatal("TCP conns must support deadlines")
+	}
+	if err := ds.SetDeadline(time.Now().Add(15 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Recv(); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Recv past deadline: err = %v, want deadline exceeded", err)
+	}
+}
 
 func TestMsgKindString(t *testing.T) {
 	kinds := map[MsgKind]string{

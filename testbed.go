@@ -19,6 +19,9 @@ type (
 	TestbedController = testbed.Controller
 	// TestbedTransport selects in-memory pipes or loopback TCP.
 	TestbedTransport = testbed.Transport
+	// TestbedFaultConfig parameterizes deterministic fault injection
+	// on the control protocol (drops, errors, delays, conn closes).
+	TestbedFaultConfig = testbed.FaultConfig
 )
 
 // Testbed transports.
@@ -34,6 +37,21 @@ const TestbedPMType = testbed.PMType
 // LaunchTestbed starts numPMs agents over the chosen transport.
 func LaunchTestbed(numPMs int, tr TestbedTransport) (*TestbedHarness, error) {
 	return testbed.Launch(numPMs, tr)
+}
+
+// LaunchTestbedWithFaults is LaunchTestbed with every controller-side
+// connection wrapped in a seeded deterministic fault injector; the
+// controller's retry/recovery path (TestbedConfig.CallTimeout,
+// CallRetries, RetryBackoff) turns those faults into retries and, when
+// an agent stays unreachable, dead-agent recovery.
+func LaunchTestbedWithFaults(numPMs int, tr TestbedTransport, faults *TestbedFaultConfig) (*TestbedHarness, error) {
+	return testbed.LaunchWithFaults(numPMs, tr, faults)
+}
+
+// ParseTestbedFaults parses the -faults flag syntax of cmd/prvm-testbed
+// (e.g. "seed=7,drop=0.01,err=0.01,delay=5ms,delayprob=0.05").
+func ParseTestbedFaults(spec string) (TestbedFaultConfig, error) {
+	return testbed.ParseFaultSpec(spec)
 }
 
 // NewTestbedController assembles a controller over a harness.
