@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint build test race chaos bench bench-all fmt
+.PHONY: check vet lint build test race chaos bench bench-all golden fmt
 
 # The full pre-merge gate: static analysis (go vet plus the project's
 # own prvm-lint analyzers), a clean build, and the test suite under the
@@ -32,10 +32,16 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/testbed/
 
 # Hot-path benchmark harness: runs the PlaceLookup / SpaceWire /
-# RanksCSR micro-benchmarks and writes the fast-vs-legacy comparison
-# to BENCH_pr3.json (see README "Benchmarks").
+# RanksCSR / RecordOverhead micro-benchmarks, plus a record/replay
+# macro-benchmark (throughput and per-phase latency percentiles), and
+# writes the comparisons to BENCH_pr6.json (see README "Benchmarks").
 bench:
-	$(GO) run ./cmd/prvm-bench -out BENCH_pr3.json
+	$(GO) run ./cmd/prvm-bench -out BENCH_pr6.json
+
+# Golden replay regression (DESIGN.md §11): the checked-in recording
+# under examples/ must replay bit-identically through the current code.
+golden:
+	$(GO) run ./cmd/prvm-replay -verify examples/golden/planetlab-60vm-48step.jsonl.gz
 
 bench-all:
 	$(GO) test -bench . -benchmem ./...

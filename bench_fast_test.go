@@ -7,10 +7,12 @@ package pagerankvm_test
 // runs these and records the comparison in BENCH_pr3.json.
 
 import (
+	"io"
 	"testing"
 
 	"pagerankvm/internal/experiments"
 	"pagerankvm/internal/lattice"
+	"pagerankvm/internal/obs/record"
 	"pagerankvm/internal/pagerank"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/ranktable"
@@ -67,6 +69,64 @@ func benchPlaceLookup(b *testing.B, opts ...placement.PageRankOption) {
 func BenchmarkPlaceLookup(b *testing.B) {
 	b.Run("fast", func(b *testing.B) { benchPlaceLookup(b) })
 	b.Run("legacy", func(b *testing.B) { benchPlaceLookup(b, placement.WithoutFastPath()) })
+}
+
+// BenchmarkRecordOverhead measures one full Place decision against the
+// production catalog with decision recording off and on. "off" is the
+// acceptance bar: a disabled recorder must cost nothing measurable
+// (one nil check) relative to the pre-recording hot path; "on" prices
+// the candidate capture + JSONL encode for capacity planning. The
+// ~25ns ScoreOn path itself carries no recording branch at all — see
+// BenchmarkPlaceLookup for its unchanged numbers.
+func BenchmarkRecordOverhead(b *testing.B) {
+	run := func(b *testing.B, rec *record.Recorder) {
+		b.Helper()
+		cat, err := experiments.AmazonCatalog()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reg, err := cat.BuildRegistry(ranktable.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		placer := placement.NewPageRankVM(reg,
+			placement.WithSeed(1), placement.WithRecorder(rec))
+		cluster := cat.BuildCluster(4)
+		for id := 0; id < 6; id++ {
+			vm, err := cat.NewVM(id, "m3.large")
+			if err != nil {
+				b.Fatal(err)
+			}
+			pm, assign, err := placer.Place(cluster, vm, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cluster.Host(pm, vm, assign); err != nil {
+				b.Fatal(err)
+			}
+		}
+		probe, err := cat.NewVM(10_000, "c3.xlarge")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Place without Host: a pure decision, repeatable each
+			// iteration against the same cluster state.
+			if _, _, err := placer.Place(cluster, probe, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) {
+		rec, err := record.NewWriter(io.Discard, record.RunMeta{Kind: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, rec)
+	})
 }
 
 // BenchmarkSpaceWire builds the heaviest production sub-lattice (the

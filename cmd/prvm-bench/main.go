@@ -1,14 +1,17 @@
 // Command prvm-bench runs the repo's hot-path micro-benchmarks and
-// writes a machine-readable summary to a JSON file (BENCH_pr3.json by
+// writes a machine-readable summary to a JSON file (BENCH_pr6.json by
 // default). It shells out to `go test -bench`, parses the standard
 // benchmark output, and pairs up before/after variants — fast vs
-// legacy, csr vs slices, parallel vs serial — into explicit speedup
-// comparisons so a reviewer (or CI) can assert on the ratios.
+// legacy, csr vs slices, parallel vs serial, recording off vs on —
+// into explicit speedup comparisons so a reviewer (or CI) can assert
+// on the ratios. It then records and replays one small seeded
+// simulation in-process, folding replay throughput and per-phase
+// latency percentiles into the report (DESIGN.md §11).
 //
 // Usage:
 //
 //	prvm-bench [-bench regex] [-pkg ./...] [-benchtime 1s] [-count 1]
-//	           [-out BENCH_pr3.json]
+//	           [-out BENCH_pr6.json] [-replay-vms n]
 package main
 
 import (
@@ -19,11 +22,15 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"pagerankvm/internal/experiments"
+	"pagerankvm/internal/obs/record"
 )
 
 func main() {
@@ -57,13 +64,30 @@ type comparison struct {
 }
 
 type report struct {
-	GoVersion  string       `json:"go_version"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"num_cpu"`
-	Timestamp  string       `json:"timestamp"`
-	BenchRegex string       `json:"bench_regex"`
-	Results    []result     `json:"results"`
-	Compare    []comparison `json:"comparisons"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Timestamp  string        `json:"timestamp"`
+	BenchRegex string        `json:"bench_regex"`
+	Results    []result      `json:"results"`
+	Compare    []comparison  `json:"comparisons"`
+	Replay     *replayReport `json:"replay,omitempty"`
+}
+
+// replayReport is the record/replay macro-benchmark: one small seeded
+// simulation recorded to a gzip JSONL file and replayed from its
+// header, with decision throughput and the recording's per-phase
+// latency percentiles.
+type replayReport struct {
+	NumVMs          int                   `json:"num_vms"`
+	PMsPerType      int                   `json:"pms_per_type"`
+	Steps           int                   `json:"steps"`
+	Seed            int64                 `json:"seed"`
+	Decisions       int64                 `json:"decisions"`
+	RecordSeconds   float64               `json:"record_seconds"`
+	ReplaySeconds   float64               `json:"replay_seconds"`
+	DecisionsPerSec float64               `json:"replay_decisions_per_sec"`
+	Phases          []record.PhaseSummary `json:"phases"`
 }
 
 // variantPairs names the (baseline, candidate) sub-benchmark pairs the
@@ -72,16 +96,20 @@ var variantPairs = [][2]string{
 	{"legacy", "fast"},
 	{"slices", "csr"},
 	{"serial", "parallel"},
+	// Recording off vs on: the "speedup" is below 1 by design — it
+	// prices what enabling decision recording costs a full Place call.
+	{"off", "on"},
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("prvm-bench", flag.ContinueOnError)
 	var (
-		benchRe   = fs.String("bench", "BenchmarkPlaceLookup|BenchmarkSpaceWire|BenchmarkRanksCSR", "benchmark regex passed to go test -bench")
+		benchRe   = fs.String("bench", "BenchmarkPlaceLookup|BenchmarkSpaceWire|BenchmarkRanksCSR|BenchmarkRecordOverhead", "benchmark regex passed to go test -bench")
 		pkg       = fs.String("pkg", ".", "package pattern to benchmark")
 		benchtime = fs.String("benchtime", "", "go test -benchtime value (empty = default)")
 		count     = fs.Int("count", 1, "go test -count value")
-		out       = fs.String("out", "BENCH_pr3.json", "output JSON file")
+		out       = fs.String("out", "BENCH_pr6.json", "output JSON file")
+		replayVMs = fs.Int("replay-vms", 120, "VM count of the record/replay macro-benchmark (0 disables it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,6 +148,13 @@ func run(args []string) error {
 		Results:    results,
 		Compare:    pairUp(results),
 	}
+	if *replayVMs > 0 {
+		rr, err := benchReplay(*replayVMs)
+		if err != nil {
+			return fmt.Errorf("replay benchmark: %w", err)
+		}
+		rep.Replay = rr
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -134,7 +169,59 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "  %s: %s %.4gx faster than %s (%.4g vs %.4g ns/op)\n",
 			c.Benchmark, c.Candidate, c.SpeedupX, c.Baseline, c.CandNs, c.BaseNs)
 	}
+	if rep.Replay != nil {
+		fmt.Fprintf(os.Stderr, "  replay: %d decisions at %.0f decisions/s (record %.2fs, replay %.2fs)\n",
+			rep.Replay.Decisions, rep.Replay.DecisionsPerSec, rep.Replay.RecordSeconds, rep.Replay.ReplaySeconds)
+	}
 	return nil
+}
+
+// benchReplay records one small seeded simulation to a temp file and
+// replays it from its header, timing both halves. The replay must diff
+// clean against the recording — a divergence is a correctness bug, not
+// a slow run, so it fails the harness.
+func benchReplay(numVMs int) (*replayReport, error) {
+	cfg := experiments.RecordConfig{Seed: 11, NumVMs: numVMs, PMsPerType: 8, Steps: 48}
+	dir, err := os.MkdirTemp("", "prvm-bench-replay")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "run.jsonl.gz")
+
+	recStart := time.Now()
+	_, ndec, err := experiments.RecordToFile(path, cfg)
+	if err != nil {
+		return nil, err
+	}
+	recSec := time.Since(recStart).Seconds()
+
+	hdr, recorded, spans, err := record.ReadAll(path)
+	if err != nil {
+		return nil, err
+	}
+	repStart := time.Now()
+	replayed, _, _, err := experiments.Replay(hdr.Meta)
+	if err != nil {
+		return nil, err
+	}
+	repSec := time.Since(repStart).Seconds()
+	if sum := record.Diff(recorded, replayed); !sum.Clean() {
+		return nil, fmt.Errorf("replay diverged from recording: %d of %d decisions", sum.Divergent, sum.ADecisions)
+	}
+
+	// The header carries the config with defaults resolved.
+	return &replayReport{
+		NumVMs:          hdr.Meta.NumVMs,
+		PMsPerType:      hdr.Meta.PMsPerType,
+		Steps:           hdr.Meta.Steps,
+		Seed:            hdr.Meta.Seed,
+		Decisions:       ndec,
+		RecordSeconds:   recSec,
+		ReplaySeconds:   repSec,
+		DecisionsPerSec: float64(len(replayed)) / repSec,
+		Phases:          record.SummarizePhases(recorded, spans),
+	}, nil
 }
 
 // parseBench reads standard `go test -bench` output: lines of the form

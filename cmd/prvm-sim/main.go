@@ -8,10 +8,20 @@
 //	prvm-sim [-fig all|3a|3b|5a|5b|6a|6b|7a|7b] [-reps n] [-seed s]
 //	         [-vms 1000,2000,3000] [-pms n]
 //	         [-obsaddr host:port] [-metrics-out file]
+//	prvm-sim -record out.jsonl[.gz] [-record-steps n] [-record-nofast]
+//	         [-seed s] [-vms n] [-pms n]
 //
 // The paper uses 100 repetitions; the default here is sized for a
 // small machine — pass -reps 100 (or set PRVM_REPS) to match the
 // paper.
+//
+// -record switches to standalone recording mode: one seeded PageRankVM
+// run (trace from the first requested figure, the first -vms count,
+// -pms hosts per type) is captured as a self-describing decision
+// recording that prvm-replay can verify, diff and summarize (DESIGN.md
+// §11). -record-nofast records the legacy scoring path — its decision
+// stream must diff clean against a fast-path recording of the same
+// seed.
 //
 // -obsaddr serves live telemetry over HTTP (/metrics JSON, /events
 // decision traces, /debug/pprof/) while the sweep runs; -obsaddr :0
@@ -69,15 +79,14 @@ func run(args []string) error {
 		series  = fs.String("series", "", "write one run's per-interval time series as CSV to this file (uses the first -vms count and the first figure's trace)")
 		obsAddr = fs.String("obsaddr", "", "serve telemetry (JSON metrics, decision traces, pprof) on this address; :0 picks a port")
 		metOut  = fs.String("metrics-out", "", "write the final telemetry snapshot as JSON to this file")
+		recPath = fs.String("record", "", "record one seeded run as a decision recording at this path (.gz compresses) instead of sweeping")
+		recStep = fs.Int("record-steps", 0, "horizon of the recorded run in monitoring intervals (0 = the 24 h default)")
+		recSlow = fs.Bool("record-nofast", false, "record with the id-indexed fast path disabled (legacy scoring)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	counts, err := parseInts(*vms)
-	if err != nil {
-		return err
-	}
-	observer, err := setupObs(*obsAddr, *metOut)
 	if err != nil {
 		return err
 	}
@@ -88,6 +97,22 @@ func run(args []string) error {
 			return fmt.Errorf("unknown figure %q", *fig)
 		}
 		wanted = []string{*fig}
+	}
+
+	if *recPath != "" {
+		return runRecord(*recPath, experiments.RecordConfig{
+			Trace:      figures[wanted[0]].trace,
+			Seed:       *seed,
+			NumVMs:     counts[0],
+			PMsPerType: *pms,
+			Steps:      *recStep,
+			NoFastPath: *recSlow,
+		})
+	}
+
+	observer, err := setupObs(*obsAddr, *metOut)
+	if err != nil {
+		return err
 	}
 
 	// One sweep per needed trace, reused by every requested figure.
@@ -162,6 +187,18 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *metOut)
 	}
+	return nil
+}
+
+// runRecord is standalone recording mode: one seeded PageRankVM run
+// captured as a self-describing recording prvm-replay can verify.
+func runRecord(path string, cfg experiments.RecordConfig) error {
+	res, ndec, err := experiments.RecordToFile(path, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "recorded %d decisions to %s (pms=%d energy=%.2fkWh migrations=%d slo=%.2f%%)\n",
+		ndec, path, res.PMsUsed, res.EnergyKWh, res.Migrations, res.SLOViolationPct)
 	return nil
 }
 

@@ -23,6 +23,12 @@ func TestObsnilguard(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Obsnilguard, "obs")
 }
 
+// The recorder package (internal/obs/record) is under the same
+// contract: a nil *Recorder is "recording disabled".
+func TestObsnilguardRecorder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Obsnilguard, "record")
+}
+
 func TestVeclen(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Veclen, "veclentest")
 }

@@ -22,16 +22,19 @@ import (
 //		return o != nil && ...   // guard as the leftmost conjunct
 //	}
 //
-// The analyzer only fires in packages named "obs" — the contract is a
-// property of the telemetry layer, not a general style rule.
+// The analyzer only fires in packages named "obs" or "record" — the
+// decision recorder (internal/obs/record) extends the same contract:
+// a nil *Recorder is "recording disabled", so hot paths call
+// RecordDecision/RecordSpan unconditionally. It is not a general
+// style rule.
 var Obsnilguard = &Analyzer{
 	Name: "obsnilguard",
-	Doc:  "exported pointer-receiver methods in internal/obs must start with a nil-receiver guard",
+	Doc:  "exported pointer-receiver methods in internal/obs and internal/obs/record must start with a nil-receiver guard",
 	Run:  runObsnilguard,
 }
 
 func runObsnilguard(pass *Pass) error {
-	if pass.Pkg.Name() != "obs" {
+	if name := pass.Pkg.Name(); name != "obs" && name != "record" {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -56,7 +59,7 @@ func runObsnilguard(pass *Pass) error {
 				continue
 			}
 			pass.Reportf(fd.Pos(),
-				"exported method (*%s).%s must start with `if %s == nil` (internal/obs nil-receiver contract)",
+				"exported method (*%s).%s must start with `if %s == nil` (telemetry nil-receiver contract)",
 				receiverTypeName(fd), fd.Name.Name, recv)
 		}
 	}

@@ -1,0 +1,46 @@
+// Package record (fixture) exercises the obsnilguard analyzer on the
+// decision recorder: internal/obs/record extends the telemetry layer's
+// nil-receiver contract — a nil *Recorder means "recording disabled" —
+// so placement hot paths call RecordDecision/RecordSpan
+// unconditionally and every exported pointer-receiver method must open
+// with a nil guard.
+package record
+
+type Recorder struct {
+	seq int64
+	err error
+}
+
+// The recorder bug shape the guard prevents: an unguarded sink method
+// would panic the placement hot path the moment recording is disabled.
+func (r *Recorder) RecordSpan(name string, ns int64) { r.seq++ } // want `\(\*Recorder\)\.RecordSpan must start with .if r == nil`
+
+func (r *Recorder) RecordDecision(seq int64) {
+	if r == nil {
+		return
+	}
+	r.seq = seq
+}
+
+// A guard as the leftmost operand of the returned expression also
+// proves the contract — Active is exactly this shape in the real
+// package.
+func (r *Recorder) Active() bool {
+	return r != nil
+}
+
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	return r.err
+}
+
+func (*Recorder) Reset() {} // want `unnamed pointer receiver`
+
+// Value receivers cannot be nil; unexported methods are internal.
+func (r Recorder) Seq() int64      { return r.seq }
+func (r *Recorder) bump(n int64)   { r.seq += n }
+func (r *Recorder) flushLocked()   {}
+func (r *Recorder) writeHeader()   {}
+func (r *Recorder) encodeLine(any) {}

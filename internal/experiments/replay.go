@@ -1,0 +1,196 @@
+package experiments
+
+// Decision recording and replay (DESIGN.md §11). A recording's header
+// carries the full deterministic input of a seeded PageRankVM
+// simulation — trace, seed, VM count, inventory size, horizon — so a
+// later build can reconstruct the run bit-for-bit and diff its
+// decision stream against the recorded one. cmd/prvm-replay drives
+// this for golden regressions; cmd/prvm-sim's -record flag produces
+// the recordings.
+
+import (
+	"fmt"
+	"time"
+
+	"pagerankvm/internal/energy"
+	"pagerankvm/internal/obs/record"
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/sim"
+	"pagerankvm/internal/trace"
+)
+
+// RecordConfig is the minimal deterministic input of one recorded
+// PageRankVM simulation run — exactly the fields a recording's header
+// must carry for `prvm-replay -verify` to reconstruct it.
+type RecordConfig struct {
+	// Trace is "planetlab" or "google" (default planetlab).
+	Trace string
+	// Seed drives workload generation, traces and tie-breaking.
+	Seed int64
+	// NumVMs is the request count (default 200).
+	NumVMs int
+	// PMsPerType sizes the inventory per Table II type (default 40).
+	PMsPerType int
+	// Steps is the horizon in monitoring intervals (default: the
+	// simulator's 24 h / 300 s).
+	Steps int
+	// NoFastPath disables the id-indexed scoring engine, recording
+	// the legacy string-key path instead. Decision identity is
+	// engine-independent, so recordings of the two variants diff
+	// clean; the flag is kept in the header for honest provenance.
+	NoFastPath bool
+}
+
+func (c RecordConfig) withDefaults() RecordConfig {
+	if c.Trace == "" {
+		c.Trace = "planetlab"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NumVMs == 0 {
+		c.NumVMs = 200
+	}
+	if c.PMsPerType == 0 {
+		c.PMsPerType = 40
+	}
+	if c.Steps == 0 {
+		c.Steps = sim.Config{}.Steps()
+	}
+	return c
+}
+
+// Meta renders the config as a recording header, the inverse of
+// ConfigFromMeta.
+func (c RecordConfig) Meta() record.RunMeta {
+	c = c.withDefaults()
+	return record.RunMeta{
+		Kind:       "sim",
+		Trace:      c.Trace,
+		Seed:       c.Seed,
+		NumVMs:     c.NumVMs,
+		PMsPerType: c.PMsPerType,
+		Steps:      c.Steps,
+		Algorithm:  "PageRankVM",
+		NoFastPath: c.NoFastPath,
+	}
+}
+
+// ConfigFromMeta reconstructs the run config from a recording header,
+// rejecting recordings this build cannot replay.
+func ConfigFromMeta(m record.RunMeta) (RecordConfig, error) {
+	if m.Kind != "sim" {
+		return RecordConfig{}, fmt.Errorf("experiments: recording kind %q is not replayable (want \"sim\")", m.Kind)
+	}
+	if m.Algorithm != "" && m.Algorithm != "PageRankVM" {
+		return RecordConfig{}, fmt.Errorf("experiments: recorded algorithm %q is not replayable", m.Algorithm)
+	}
+	cfg := RecordConfig{
+		Trace:      m.Trace,
+		Seed:       m.Seed,
+		NumVMs:     m.NumVMs,
+		PMsPerType: m.PMsPerType,
+		Steps:      m.Steps,
+		NoFastPath: m.NoFastPath,
+	}.withDefaults()
+	if _, err := trace.ByName(cfg.Trace, cfg.Seed); err != nil {
+		return RecordConfig{}, fmt.Errorf("experiments: recording header: %w", err)
+	}
+	return cfg, nil
+}
+
+// RunRecorded runs one seeded PageRankVM simulation over the Amazon
+// catalog with rec attached to every layer: rank-table builds, the
+// placer (decision stream + phase timings), and the simulator (tick
+// spans). rec may be nil, in which case this is just a plain seeded
+// run — useful for timing the replay itself.
+func RunRecorded(cfg RecordConfig, rec *record.Recorder) (sim.Result, error) {
+	cfg = cfg.withDefaults()
+	cat, err := AmazonCatalog()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	reg, err := cat.BuildRegistry(ranktable.Options{Recorder: rec})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	gen, err := trace.ByName(cfg.Trace, cfg.Seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	workloads, err := cat.GenWorkloads(gen, WorkloadConfig{
+		NumVMs: cfg.NumVMs,
+		Seed:   cfg.Seed,
+		Steps:  cfg.Steps,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	popts := []placement.PageRankOption{
+		placement.WithSeed(cfg.Seed),
+		placement.WithRecorder(rec),
+	}
+	if cfg.NoFastPath {
+		popts = append(popts, placement.WithoutFastPath())
+	}
+	placer := placement.NewPageRankVM(reg, popts...)
+	models := map[string]*energy.Model{}
+	for _, pm := range cat.PMs {
+		m, err := energy.ByName(pm.Power)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		models[pm.Name] = m
+	}
+	scfg := sim.Config{
+		Horizon:  time.Duration(cfg.Steps) * sim.DefaultInterval,
+		Recorder: rec,
+	}
+	s, err := sim.New(scfg, cat.BuildCluster(cfg.PMsPerType), placer,
+		placement.RankEvictor{Placer: placer}, models, workloads)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.Run()
+}
+
+// Replay reconstructs the run a recording header describes and returns
+// the decision and span streams the current code produces for it.
+// Diffing the returned decisions against the recording's is the golden
+// regression `prvm-replay -verify` performs.
+func Replay(meta record.RunMeta) ([]record.Decision, []record.Span, sim.Result, error) {
+	cfg, err := ConfigFromMeta(meta)
+	if err != nil {
+		return nil, nil, sim.Result{}, err
+	}
+	rec := record.NewCollector()
+	res, err := RunRecorded(cfg, rec)
+	if err != nil {
+		return nil, nil, sim.Result{}, err
+	}
+	if err := rec.Err(); err != nil {
+		return nil, nil, sim.Result{}, err
+	}
+	return rec.Decisions(), rec.Spans(), res, nil
+}
+
+// RecordToFile runs the config and writes the recording to path
+// (gzip-compressed when path ends in ".gz"), returning the sim result
+// and the number of decisions captured.
+func RecordToFile(path string, cfg RecordConfig) (sim.Result, int64, error) {
+	cfg = cfg.withDefaults()
+	rec, err := record.Create(path, cfg.Meta())
+	if err != nil {
+		return sim.Result{}, 0, err
+	}
+	res, err := RunRecorded(cfg, rec)
+	ndec, _ := rec.Counts()
+	if cerr := rec.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return sim.Result{}, 0, err
+	}
+	return res, ndec, nil
+}

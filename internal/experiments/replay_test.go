@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pagerankvm/internal/obs/record"
+)
+
+// TestRecordReplayRoundTrip is the golden-regression contract end to
+// end at the library layer: record a seeded run to disk, reconstruct
+// the run from the file's header alone, and require the fresh decision
+// stream to diff clean against the recorded one.
+func TestRecordReplayRoundTrip(t *testing.T) {
+	cfg := RecordConfig{Trace: "google", Seed: 9, NumVMs: 30, PMsPerType: 4, Steps: 24}
+	path := filepath.Join(t.TempDir(), "run.jsonl.gz")
+	res, ndec, err := RecordToFile(path, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ndec == 0 {
+		t.Fatal("no decisions recorded")
+	}
+
+	hdr, recorded, spans, err := record.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(recorded)) != ndec {
+		t.Fatalf("file holds %d decisions, recorder counted %d", len(recorded), ndec)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	if !reflect.DeepEqual(hdr.Meta, cfg.Meta()) {
+		t.Fatalf("header meta %+v, want %+v", hdr.Meta, cfg.Meta())
+	}
+
+	replayed, _, rres, err := Replay(hdr.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum := record.Diff(recorded, replayed); !sum.Clean() {
+		t.Fatalf("replay diverges from recording: %+v (first: %+v)", sum, sum.First)
+	}
+	if rres != res {
+		t.Fatalf("replay result %+v, want recorded %+v", rres, res)
+	}
+}
+
+func TestConfigFromMetaRejectsUnreplayable(t *testing.T) {
+	cases := []struct {
+		name string
+		meta record.RunMeta
+	}{
+		{"wrong kind", record.RunMeta{Kind: "bench"}},
+		{"wrong algorithm", record.RunMeta{Kind: "sim", Algorithm: "FFDSum"}},
+		{"unknown trace", record.RunMeta{Kind: "sim", Trace: "borg"}},
+	}
+	for _, tc := range cases {
+		if _, err := ConfigFromMeta(tc.meta); err == nil {
+			t.Errorf("%s: ConfigFromMeta accepted %+v", tc.name, tc.meta)
+		}
+	}
+}
+
+func TestConfigMetaRoundTrip(t *testing.T) {
+	cfg := RecordConfig{Trace: "planetlab", Seed: 3, NumVMs: 50, PMsPerType: 5, Steps: 12, NoFastPath: true}
+	got, err := ConfigFromMeta(cfg.Meta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatalf("round trip %+v, want %+v", got, cfg)
+	}
+}

@@ -9,11 +9,12 @@ import (
 	"sort"
 )
 
-// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
-// linear interpolation between closest ranks. It returns NaN for an
-// empty input.
+// Percentile returns the p-th percentile of xs using linear
+// interpolation between closest ranks. p is clamped to [0, 100], so a
+// single sample (or an all-equal sample) answers every percentile with
+// that value. It returns NaN for an empty input or a NaN p.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	if len(xs) == 0 || math.IsNaN(p) {
 		return math.NaN()
 	}
 	sorted := make([]float64, len(xs))

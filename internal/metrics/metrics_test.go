@@ -65,6 +65,45 @@ func TestPercentileAllEqual(t *testing.T) {
 	}
 }
 
+func TestPercentileEdgeQueries(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64 // NaN means "want NaN"
+	}{
+		{"below range clamps to min", []float64{1, 2, 3}, -10, 1},
+		{"above range clamps to max", []float64{1, 2, 3}, 250, 3},
+		{"single below range", []float64{7}, -1, 7},
+		{"single above range", []float64{7}, 101, 7},
+		{"NaN p", []float64{1, 2, 3}, math.NaN(), math.NaN()},
+		{"NaN p empty", nil, math.NaN(), math.NaN()},
+		{"inf p clamps", []float64{1, 2, 3}, math.Inf(1), 3},
+		{"-inf p clamps", []float64{1, 2, 3}, math.Inf(-1), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Percentile(tc.xs, tc.p)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Percentile(%v, %v) = %v, want NaN", tc.xs, tc.p, got)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("Percentile(%v, %v) = %v, want %v", tc.xs, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSummarizeSingleSample(t *testing.T) {
+	s := Summarize([]float64{4.2})
+	if s.Median != 4.2 || s.P1 != 4.2 || s.P99 != 4.2 || s.N != 1 {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+}
+
 func TestSummaryStringEmpty(t *testing.T) {
 	got := Summarize(nil).String()
 	if got != "- (n=0)" {

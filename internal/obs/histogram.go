@@ -157,28 +157,50 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// Quantile estimates the q-th quantile (0 <= q <= 1) by linear
-// interpolation inside the bucket holding the target rank, clamped to
-// the exact observed [Min, Max]. NaN when empty.
+// Quantile estimates the q-th quantile by linear interpolation inside
+// the bucket holding the target rank, clamped to the exact observed
+// [Min, Max]. q is clamped to [0, 1], so a single observation (or an
+// all-equal stream) answers every quantile with that value. NaN when
+// empty or q is NaN. A concurrency-skewed snapshot (Count > 0 with the
+// min/max sentinels still at ±Inf) degrades gracefully to bucket
+// bounds instead of returning infinities.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
-	if s.Count == 0 {
+	if s.Count == 0 || math.IsNaN(q) {
 		return math.NaN()
 	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	minOK := s.Min <= s.Max // false when a sentinel survived the race
 	target := q * float64(s.Count)
 	cum := int64(0)
 	for i, c := range s.Counts {
 		if c == 0 {
-			cum += c
 			continue
 		}
 		if float64(cum+c) >= target {
-			lo := s.Min
+			lo := math.Inf(-1)
 			if i > 0 {
-				lo = math.Max(s.Min, s.Bounds[i-1])
+				lo = s.Bounds[i-1]
 			}
-			hi := s.Max
+			hi := math.Inf(1)
 			if i < len(s.Bounds) {
-				hi = math.Min(s.Max, s.Bounds[i])
+				hi = s.Bounds[i]
+			}
+			if minOK {
+				lo = math.Max(lo, s.Min)
+				hi = math.Min(hi, s.Max)
+			}
+			// Underflow / overflow buckets have one open side; without
+			// an exact min/max, collapse to the known bound.
+			if math.IsInf(lo, -1) {
+				lo = hi
+			}
+			if math.IsInf(hi, 1) {
+				hi = lo
 			}
 			if hi < lo {
 				hi = lo
@@ -191,5 +213,8 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		}
 		cum += c
 	}
-	return s.Max
+	if minOK {
+		return s.Max
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }

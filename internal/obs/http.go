@@ -11,7 +11,8 @@ import (
 
 // Handler serves the observer over HTTP:
 //
-//	/metrics        indented JSON snapshot of every instrument
+//	/metrics        Prometheus text exposition (version 0.0.4)
+//	/metrics.json   indented JSON snapshot of every instrument
 //	/events         retained trace events (when sink is a *RingSink)
 //	/debug/vars     the standard expvar page (memstats, cmdline)
 //	/debug/pprof/*  the net/http/pprof profiles
@@ -20,6 +21,10 @@ import (
 func Handler(o *Observer, sink *RingSink) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		_ = o.WriteProm(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = o.WriteJSON(w)
 	})
@@ -44,7 +49,7 @@ func Handler(o *Observer, sink *RingSink) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "pagerankvm telemetry: /metrics /events /debug/vars /debug/pprof/")
+		fmt.Fprintln(w, "pagerankvm telemetry: /metrics /metrics.json /events /debug/vars /debug/pprof/")
 	})
 	return mux
 }

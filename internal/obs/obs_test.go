@@ -218,8 +218,11 @@ func TestHandlerEndpoints(t *testing.T) {
 		}
 		return string(body)
 	}
-	if body := get("/metrics"); !strings.Contains(body, `"c": 1`) {
-		t.Fatalf("/metrics missing counter: %s", body)
+	if body := get("/metrics"); !strings.Contains(body, "prvm_c 1") {
+		t.Fatalf("/metrics missing Prometheus counter: %s", body)
+	}
+	if body := get("/metrics.json"); !strings.Contains(body, `"c": 1`) {
+		t.Fatalf("/metrics.json missing counter: %s", body)
 	}
 	if body := get("/events"); !strings.Contains(body, `"event": "place"`) {
 		t.Fatalf("/events missing event: %s", body)

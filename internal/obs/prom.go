@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Prometheus text exposition format version
+// this package writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteProm renders every instrument in the Prometheus text exposition
+// format (version 0.0.4): counters as `counter`, gauges as `gauge`,
+// histograms as `histogram` with cumulative `_bucket{le="..."}` series,
+// a final `le="+Inf"` bucket, and `_sum`/`_count`. Metric names are
+// sanitized (dots and other invalid runes become underscores) and
+// prefixed with "prvm_", so `placement.place_calls` is scraped as
+// `prvm_placement_place_calls`. Nil-safe: a nil Observer writes
+// nothing.
+func (o *Observer) WriteProm(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	return writeProm(w, o.Snapshot())
+}
+
+func writeProm(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := promName(n)
+		fmt.Fprintf(&b, "# HELP %s Counter %s.\n", m, promEscapeHelp(n))
+		fmt.Fprintf(&b, "# TYPE %s counter\n", m)
+		fmt.Fprintf(&b, "%s %d\n", m, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := promName(n)
+		fmt.Fprintf(&b, "# HELP %s Gauge %s.\n", m, promEscapeHelp(n))
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", m)
+		fmt.Fprintf(&b, "%s %d\n", m, s.Gauges[n])
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		m := promName(n)
+		fmt.Fprintf(&b, "# HELP %s Histogram %s.\n", m, promEscapeHelp(n))
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", m)
+		// Bucket counts are stored per-interval; Prometheus buckets are
+		// cumulative counts of observations <= the bound.
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m, promFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", m, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", m, h.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName sanitizes an instrument name into a valid Prometheus metric
+// name ([a-zA-Z_:][a-zA-Z0-9_:]*) under the repo's prvm_ namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("prvm_")
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes a HELP text: backslashes and line feeds per
+// the exposition format spec.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// PromEscapeLabel escapes a label value: backslash, double-quote and
+// line feed per the exposition format spec.
+func PromEscapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// promFloat renders a float the way Prometheus expects: shortest
+// round-trip decimal, with +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestWritePromFormat(t *testing.T) {
+	o := New()
+	o.Counter("placement.place_calls").Add(42)
+	o.Gauge("sim.active_pms").Set(7)
+	h := o.Histogram("sim.place_seconds", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.003, 0.05, 5} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := o.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+
+	for _, want := range []string{
+		"# TYPE prvm_placement_place_calls counter",
+		"prvm_placement_place_calls 42",
+		"# TYPE prvm_sim_active_pms gauge",
+		"prvm_sim_active_pms 7",
+		"# TYPE prvm_sim_place_seconds histogram",
+		`prvm_sim_place_seconds_bucket{le="0.001"} 1`,
+		`prvm_sim_place_seconds_bucket{le="0.01"} 3`,
+		`prvm_sim_place_seconds_bucket{le="0.1"} 4`,
+		`prvm_sim_place_seconds_bucket{le="+Inf"} 5`,
+		"prvm_sim_place_seconds_count 5",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.Contains(body, "prvm_sim_place_seconds_sum 5.055") {
+		t.Errorf("sum missing or wrong:\n%s", body)
+	}
+
+	// Every non-comment line must match the sample syntax.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|\+Inf|-Inf|NaN)$`)
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("invalid sample line %q", line)
+		}
+	}
+}
+
+func TestWritePromNil(t *testing.T) {
+	var o *Observer
+	var buf bytes.Buffer
+	if err := o.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil observer wrote %q", buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"placement.place_calls":   "prvm_placement_place_calls",
+		"a.b-c/d":                 "prvm_a_b_c_d",
+		"ranktable.build_seconds": "prvm_ranktable_build_seconds",
+		"with space":              "prvm_with_space",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromEscapeLabel(t *testing.T) {
+	if got := PromEscapeLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Fatalf("escaped = %q", got)
+	}
+}
+
+func TestMetricsEndpointContentType(t *testing.T) {
+	o := New()
+	o.Counter("c").Inc()
+	srv := httptest.NewServer(Handler(o, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("content-type = %q, want %q", ct, PromContentType)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	single := NewHistogram([]float64{1, 10, 100})
+	single.Observe(5)
+	sSingle := single.Snapshot()
+
+	equal := NewHistogram([]float64{1, 10, 100})
+	for i := 0; i < 9; i++ {
+		equal.Observe(7)
+	}
+	sEqual := equal.Snapshot()
+
+	cases := []struct {
+		name string
+		s    HistogramSnapshot
+		q    float64
+		want float64
+	}{
+		{"single q0", sSingle, 0, 5},
+		{"single q50", sSingle, 0.5, 5},
+		{"single q100", sSingle, 1, 5},
+		{"single q below range", sSingle, -3, 5},
+		{"single q above range", sSingle, 7, 5},
+		{"all-equal q0", sEqual, 0, 7},
+		{"all-equal q50", sEqual, 0.5, 7},
+		{"all-equal q99", sEqual, 0.99, 7},
+		{"all-equal q100", sEqual, 1, 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Quantile(tc.q); got != tc.want {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+
+	t.Run("NaN q", func(t *testing.T) {
+		if got := sSingle.Quantile(math.NaN()); !math.IsNaN(got) {
+			t.Fatalf("Quantile(NaN) = %v, want NaN", got)
+		}
+	})
+
+	t.Run("skewed snapshot degrades to bounds", func(t *testing.T) {
+		// A writer that bumped count but had not CASed min/max yet:
+		// the sentinels survive in the snapshot. Quantiles must stay
+		// finite, inside the occupied bucket.
+		s := sSingle
+		s.Min = math.Inf(1)
+		s.Max = math.Inf(-1)
+		for _, q := range []float64{0, 0.5, 1} {
+			got := s.Quantile(q)
+			if math.IsInf(got, 0) || math.IsNaN(got) {
+				t.Fatalf("Quantile(%v) = %v on skewed snapshot", q, got)
+			}
+			// 5 lands in bucket (1, 10]; without exact min/max the
+			// estimate must stay within those bounds.
+			if got < 1 || got > 10 {
+				t.Fatalf("Quantile(%v) = %v outside occupied bucket (1, 10]", q, got)
+			}
+		}
+	})
+
+	t.Run("skewed overflow tail", func(t *testing.T) {
+		over := NewHistogram([]float64{1, 10})
+		over.Observe(50)
+		s := over.Snapshot()
+		s.Min = math.Inf(1)
+		s.Max = math.Inf(-1)
+		if got := s.Quantile(1); got != 10 {
+			t.Fatalf("overflow quantile without max = %v, want last bound 10", got)
+		}
+	})
+}

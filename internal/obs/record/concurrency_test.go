@@ -1,0 +1,102 @@
+package record
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestRecorderConcurrentSeqOrder hammers one Recorder from many
+// goroutines and asserts the contract the replay layer depends on:
+// the recorded stream is strictly seq-ordered, gap-free, and loses
+// nothing, regardless of caller interleaving. Run under -race.
+func TestRecorderConcurrentSeqOrder(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 200
+	)
+	run := func(t *testing.T, r *Recorder) {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perW; i++ {
+					if i%10 == 9 {
+						r.RecordSpan("sim.tick", int64(i), nil)
+						continue
+					}
+					r.RecordDecision(Decision{VM: w*perW + i, VMType: "m3.large", PM: w, Score: 0.5})
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	t.Run("collector", func(t *testing.T) {
+		r := NewCollector()
+		run(t, r)
+		ds, ss := r.Decisions(), r.Spans()
+		checkSeqs(t, ds, ss, workers*perW)
+	})
+
+	t.Run("jsonl", func(t *testing.T) {
+		var buf bytes.Buffer
+		r, err := NewWriter(&buf, RunMeta{Kind: "test"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run(t, r)
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, ds, ss, err := ReadAllFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSeqs(t, ds, ss, workers*perW)
+		// JSONL lines must also be physically ordered: the stream is
+		// written under the same lock that assigns seq, so re-reading
+		// yields monotone sequence numbers without sorting.
+		last := int64(-1)
+		for _, d := range ds {
+			if d.Seq <= last {
+				// Decisions interleave with spans, so only assert
+				// monotonicity within the decision stream here; the
+				// merged check below covers the rest.
+				t.Fatalf("decision stream out of order: %d after %d", d.Seq, last)
+			}
+			last = d.Seq
+		}
+	})
+}
+
+// checkSeqs asserts the merged decision+span stream covers exactly
+// 0..total-1 with no duplicates or gaps.
+func checkSeqs(t *testing.T, ds []Decision, ss []Span, total int) {
+	t.Helper()
+	if got := len(ds) + len(ss); got != total {
+		t.Fatalf("lost events: %d + %d != %d", len(ds), len(ss), total)
+	}
+	seen := make([]bool, total)
+	mark := func(seq int64) {
+		if seq < 0 || seq >= int64(total) {
+			t.Fatalf("seq %d out of range [0, %d)", seq, total)
+		}
+		if seen[seq] {
+			t.Fatalf("duplicate seq %d", seq)
+		}
+		seen[seq] = true
+	}
+	for _, d := range ds {
+		mark(d.Seq)
+	}
+	for _, s := range ss {
+		mark(s.Seq)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("gap at seq %d", i)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package record
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"pagerankvm/internal/metrics"
+)
+
+// Divergence is one decision-level mismatch between two recordings.
+type Divergence struct {
+	// Index is the position in the decision streams (both streams are
+	// indexed by decision order, ignoring spans).
+	Index int
+	// A and B are the diverging decisions; one side is nil when a
+	// stream ended early.
+	A, B *Decision
+	// ScoreDelta is |A.Score - B.Score| when both sides exist.
+	ScoreDelta float64
+}
+
+func (d Divergence) String() string {
+	switch {
+	case d.A == nil:
+		return fmt.Sprintf("#%d: only in B: vm %d -> pm %d", d.Index, d.B.VM, d.B.PM)
+	case d.B == nil:
+		return fmt.Sprintf("#%d: only in A: vm %d -> pm %d", d.Index, d.A.VM, d.A.PM)
+	default:
+		return fmt.Sprintf("#%d: vm %d: A pm %d (score %.17g) vs B pm %d (score %.17g)",
+			d.Index, d.A.VM, d.A.PM, d.A.Score, d.B.PM, d.B.Score)
+	}
+}
+
+// maxDivergenceSamples bounds how many divergences a summary retains;
+// counts keep accumulating past it.
+const maxDivergenceSamples = 20
+
+// DiffSummary aggregates a decision-by-decision comparison of two
+// recordings.
+type DiffSummary struct {
+	// ADecisions and BDecisions are the stream lengths.
+	ADecisions, BDecisions int
+	// Divergent is the number of diverging positions.
+	Divergent int
+	// First is the first divergence (nil when clean) — the step where
+	// two algorithm variants stopped agreeing.
+	First *Divergence
+	// MaxScoreDelta is the largest |score_A - score_B| across
+	// divergences where both sides exist.
+	MaxScoreDelta float64
+	// VMs and PMs are the sorted distinct VM ids and (chosen) PM ids
+	// involved in divergences.
+	VMs, PMs []int
+	// Samples retains the first maxDivergenceSamples divergences.
+	Samples []Divergence
+}
+
+// Clean reports a divergence-free comparison.
+func (s DiffSummary) Clean() bool { return s.Divergent == 0 }
+
+// Diff compares two decision streams position by position using
+// Equivalent (bitwise on scores; timings, seq and fast-path flags are
+// metadata and ignored).
+func Diff(a, b []Decision) DiffSummary {
+	s := DiffSummary{ADecisions: len(a), BDecisions: len(b)}
+	vms := map[int]bool{}
+	pms := map[int]bool{}
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		var da, db *Decision
+		if i < len(a) {
+			da = &a[i]
+		}
+		if i < len(b) {
+			db = &b[i]
+		}
+		if da != nil && db != nil && Equivalent(*da, *db) {
+			continue
+		}
+		div := Divergence{Index: i, A: da, B: db}
+		if da != nil && db != nil {
+			div.ScoreDelta = math.Abs(da.Score - db.Score)
+			if div.ScoreDelta > s.MaxScoreDelta {
+				s.MaxScoreDelta = div.ScoreDelta
+			}
+		}
+		for _, d := range []*Decision{da, db} {
+			if d == nil {
+				continue
+			}
+			vms[d.VM] = true
+			if d.PM >= 0 {
+				pms[d.PM] = true
+			}
+		}
+		s.Divergent++
+		if s.First == nil {
+			first := div
+			s.First = &first
+		}
+		if len(s.Samples) < maxDivergenceSamples {
+			s.Samples = append(s.Samples, div)
+		}
+	}
+	s.VMs = sortedKeys(vms)
+	s.PMs = sortedKeys(pms)
+	return s
+}
+
+func sortedKeys(m map[int]bool) []int {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Write renders the summary for humans: verdict, first divergence,
+// affected entities, samples.
+func (s DiffSummary) Write(w io.Writer) error {
+	if s.Clean() {
+		_, err := fmt.Fprintf(w, "OK: %d decisions, zero divergences\n", s.ADecisions)
+		return err
+	}
+	fmt.Fprintf(w, "DIVERGED: %d of max(%d, %d) decisions differ\n", s.Divergent, s.ADecisions, s.BDecisions)
+	if s.First != nil {
+		fmt.Fprintf(w, "first divergence at decision %s\n", s.First)
+	}
+	fmt.Fprintf(w, "max score delta: %.17g\n", s.MaxScoreDelta)
+	fmt.Fprintf(w, "affected VMs (%d): %s\n", len(s.VMs), previewInts(s.VMs, 16))
+	fmt.Fprintf(w, "affected PMs (%d): %s\n", len(s.PMs), previewInts(s.PMs, 16))
+	for _, d := range s.Samples {
+		fmt.Fprintf(w, "  %s\n", d)
+	}
+	if s.Divergent > len(s.Samples) {
+		fmt.Fprintf(w, "  ... %d more\n", s.Divergent-len(s.Samples))
+	}
+	return nil
+}
+
+func previewInts(xs []int, max int) string {
+	if len(xs) <= max {
+		return fmt.Sprint(xs)
+	}
+	return fmt.Sprintf("%v...", xs[:max])
+}
+
+// PhaseSummary is the latency distribution of one phase or span across
+// a recording, in seconds.
+type PhaseSummary struct {
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_seconds"`
+	P95   float64 `json:"p95_seconds"`
+	P99   float64 `json:"p99_seconds"`
+	Max   float64 `json:"max_seconds"`
+	Mean  float64 `json:"mean_seconds"`
+}
+
+// SummarizePhases computes per-phase latency percentiles over the
+// per-decision phase timings (scan/check/bind) and every named span in
+// the recording, sorted by name.
+func SummarizePhases(decisions []Decision, spans []Span) []PhaseSummary {
+	samples := map[string][]float64{}
+	add := func(name string, ns int64) {
+		samples[name] = append(samples[name], float64(ns)/1e9)
+	}
+	for i := range decisions {
+		ph := decisions[i].Phases
+		if ph == nil {
+			continue
+		}
+		add("place.scan", ph.ScanNs)
+		add("place.check", ph.CheckNs)
+		add("place.bind", ph.BindNs)
+	}
+	for i := range spans {
+		add(spans[i].Name, spans[i].Ns)
+	}
+	names := make([]string, 0, len(samples))
+	for n := range samples {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]PhaseSummary, 0, len(names))
+	for _, n := range names {
+		xs := samples[n]
+		out = append(out, PhaseSummary{
+			Name:  n,
+			Count: len(xs),
+			P50:   metrics.Percentile(xs, 50),
+			P95:   metrics.Percentile(xs, 95),
+			P99:   metrics.Percentile(xs, 99),
+			Max:   metrics.Percentile(xs, 100),
+			Mean:  metrics.Mean(xs),
+		})
+	}
+	return out
+}
+
+// WritePhases renders phase summaries as an aligned table in
+// microseconds.
+func WritePhases(w io.Writer, sums []PhaseSummary) error {
+	if len(sums) == 0 {
+		_, err := fmt.Fprintln(w, "no phase timings recorded")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-24s %8s %10s %10s %10s %10s %10s\n",
+		"phase", "count", "p50(µs)", "p95(µs)", "p99(µs)", "max(µs)", "mean(µs)"); err != nil {
+		return err
+	}
+	for _, s := range sums {
+		us := func(sec float64) float64 { return sec * 1e6 }
+		if _, err := fmt.Fprintf(w, "%-24s %8d %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			s.Name, s.Count, us(s.P50), us(s.P95), us(s.P99), us(s.Max), us(s.Mean)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package record
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Reader iterates one recording: the header, then decisions and spans
+// in stream order. Gzip framing is auto-detected from the magic bytes,
+// so callers never need to know how the file was written.
+type Reader struct {
+	hdr     Header
+	sc      *bufio.Scanner
+	line    int
+	closers []io.Closer
+}
+
+// Open reads the recording at path.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("record: %w", err)
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closers = append(r.closers, f)
+	return r, nil
+}
+
+// NewReader reads a recording from src, sniffing gzip framing.
+func NewReader(src io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(src, 1<<16)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("record: gzip: %w", err)
+		}
+		return newReader(gz, gz)
+	}
+	return newReader(br, nil)
+}
+
+func newReader(src io.Reader, c io.Closer) (*Reader, error) {
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	r := &Reader{sc: sc}
+	if c != nil {
+		r.closers = append(r.closers, c)
+	}
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("record: read header: %w", err)
+		}
+		return nil, fmt.Errorf("record: empty recording")
+	}
+	r.line = 1
+	if err := json.Unmarshal(sc.Bytes(), &r.hdr); err != nil {
+		return nil, fmt.Errorf("record: parse header: %w", err)
+	}
+	if r.hdr.Format != FormatName {
+		return nil, fmt.Errorf("record: not a %s file (format %q)", FormatName, r.hdr.Format)
+	}
+	if r.hdr.Version != FormatVersion {
+		return nil, fmt.Errorf("record: unsupported format version %d (reader speaks %d)", r.hdr.Version, FormatVersion)
+	}
+	return r, nil
+}
+
+// Header returns the recording's header.
+func (r *Reader) Header() Header {
+	if r == nil {
+		return Header{}
+	}
+	return r.hdr
+}
+
+// Entry is one post-header line: exactly one of Decision or Span is
+// non-nil.
+type Entry struct {
+	Decision *Decision
+	Span     *Span
+}
+
+// Next returns the next entry, or io.EOF at the end of the stream.
+func (r *Reader) Next() (Entry, error) {
+	if r == nil {
+		return Entry{}, io.EOF
+	}
+	for {
+		if !r.sc.Scan() {
+			if err := r.sc.Err(); err != nil {
+				return Entry{}, fmt.Errorf("record: line %d: %w", r.line, err)
+			}
+			return Entry{}, io.EOF
+		}
+		r.line++
+		raw := r.sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return Entry{}, fmt.Errorf("record: line %d: %w", r.line, err)
+		}
+		switch probe.T {
+		case lineDecision:
+			var d Decision
+			if err := json.Unmarshal(raw, &d); err != nil {
+				return Entry{}, fmt.Errorf("record: line %d: %w", r.line, err)
+			}
+			return Entry{Decision: &d}, nil
+		case lineSpan:
+			var s Span
+			if err := json.Unmarshal(raw, &s); err != nil {
+				return Entry{}, fmt.Errorf("record: line %d: %w", r.line, err)
+			}
+			return Entry{Span: &s}, nil
+		default:
+			// Unknown line types are skipped, not fatal: future
+			// versions may add record kinds without breaking old
+			// readers of the same major format version.
+			continue
+		}
+	}
+}
+
+// Close releases the underlying file and gzip layers.
+func (r *Reader) Close() error {
+	if r == nil {
+		return nil
+	}
+	var first error
+	for _, c := range r.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ReadAll loads a whole recording: header, decisions and spans in
+// stream order.
+func ReadAll(path string) (Header, []Decision, []Span, error) {
+	r, err := Open(path)
+	if err != nil {
+		return Header{}, nil, nil, err
+	}
+	defer r.Close()
+	return drain(r)
+}
+
+// ReadAllFrom is ReadAll over an arbitrary stream.
+func ReadAllFrom(src io.Reader) (Header, []Decision, []Span, error) {
+	r, err := NewReader(src)
+	if err != nil {
+		return Header{}, nil, nil, err
+	}
+	defer r.Close()
+	return drain(r)
+}
+
+func drain(r *Reader) (Header, []Decision, []Span, error) {
+	var (
+		ds []Decision
+		ss []Span
+	)
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return r.Header(), ds, ss, nil
+		}
+		if err != nil {
+			return r.Header(), ds, ss, err
+		}
+		if e.Decision != nil {
+			ds = append(ds, *e.Decision)
+		} else if e.Span != nil {
+			ss = append(ss, *e.Span)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package record
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleMeta() RunMeta {
+	return RunMeta{
+		Kind:       "sim",
+		Trace:      "planetlab",
+		Seed:       42,
+		NumVMs:     40,
+		PMsPerType: 2,
+		Steps:      12,
+		Algorithm:  "PageRankVM",
+		Labels:     map[string]string{"origin": "test"},
+	}
+}
+
+func sampleDecision(vm, pm int, score float64) Decision {
+	return Decision{
+		VM:       vm,
+		VMType:   "m3.large",
+		PM:       pm,
+		PMType:   "E5-2670",
+		Score:    score,
+		Scanned:  3,
+		Profiles: 7,
+		Ties:     2,
+		TiedPMs:  []int{pm, pm + 1},
+		Fast:     true,
+		Phases:   &Phases{ScanNs: 1200, CheckNs: 300, BindNs: 90},
+		Candidates: []Candidate{
+			{PM: pm, Status: StatusScored, Score: score, Profiles: 4},
+			{PM: pm + 1, Status: StatusScored, Score: score, Profiles: 3},
+			{PM: pm + 2, Status: StatusNoFit},
+		},
+	}
+}
+
+func TestRoundTripJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	r, err := NewWriter(&buf, sampleMeta())
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	r.RecordDecision(sampleDecision(0, 5, 0.25))
+	r.RecordSpan("ranktable.build", 1500, map[string]string{"group": "cpu"})
+	r.RecordDecision(sampleDecision(1, 6, 0.5))
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ndec, nspan := r.Counts()
+	if ndec != 2 || nspan != 1 {
+		t.Fatalf("Counts = (%d, %d), want (2, 1)", ndec, nspan)
+	}
+
+	hdr, ds, ss, err := ReadAllFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAllFrom: %v", err)
+	}
+	if hdr.Format != FormatName || hdr.Version != FormatVersion {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if hdr.Meta.Trace != "planetlab" || hdr.Meta.Seed != 42 || hdr.Meta.Labels["origin"] != "test" {
+		t.Fatalf("meta = %+v", hdr.Meta)
+	}
+	if len(ds) != 2 || len(ss) != 1 {
+		t.Fatalf("got %d decisions, %d spans", len(ds), len(ss))
+	}
+	// Stream order and the recording-wide sequence: d0=0, span=1, d1=2.
+	if ds[0].Seq != 0 || ss[0].Seq != 1 || ds[1].Seq != 2 {
+		t.Fatalf("seqs = %d, %d, %d", ds[0].Seq, ss[0].Seq, ds[1].Seq)
+	}
+	want := sampleDecision(0, 5, 0.25)
+	if !Equivalent(ds[0], want) {
+		t.Fatalf("round-tripped decision not equivalent:\n got %+v\nwant %+v", ds[0], want)
+	}
+	if ds[0].Phases == nil || ds[0].Phases.ScanNs != 1200 {
+		t.Fatalf("phases lost in round trip: %+v", ds[0].Phases)
+	}
+	if !ds[0].Fast {
+		t.Fatal("fast flag lost in round trip")
+	}
+	if ss[0].Name != "ranktable.build" || ss[0].Ns != 1500 || ss[0].Labels["group"] != "cpu" {
+		t.Fatalf("span = %+v", ss[0])
+	}
+}
+
+func TestRoundTripGzipFile(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"run.jsonl", "run.jsonl.gz"} {
+		path := filepath.Join(dir, name)
+		r, err := Create(path, sampleMeta())
+		if err != nil {
+			t.Fatalf("Create(%s): %v", name, err)
+		}
+		for i := 0; i < 50; i++ {
+			r.RecordDecision(sampleDecision(i, i%4, float64(i)/100))
+		}
+		r.RecordSpan("sim.run", 99, nil)
+		if err := r.Close(); err != nil {
+			t.Fatalf("Close(%s): %v", name, err)
+		}
+
+		hdr, ds, ss, err := ReadAll(path)
+		if err != nil {
+			t.Fatalf("ReadAll(%s): %v", name, err)
+		}
+		if hdr.Meta.Kind != "sim" {
+			t.Fatalf("%s: header meta = %+v", name, hdr.Meta)
+		}
+		if len(ds) != 50 || len(ss) != 1 {
+			t.Fatalf("%s: got %d decisions, %d spans", name, len(ds), len(ss))
+		}
+		for i, d := range ds {
+			if d.Seq != int64(i) {
+				t.Fatalf("%s: decision %d has seq %d", name, i, d.Seq)
+			}
+			if !Equivalent(d, sampleDecision(i, i%4, float64(i)/100)) {
+				t.Fatalf("%s: decision %d not equivalent", name, i)
+			}
+		}
+	}
+}
+
+func TestReaderRejectsBadHeader(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"empty", "", "empty recording"},
+		{"not json", "hello\n", "parse header"},
+		{"wrong format", `{"format":"other","version":1}` + "\n", "not a"},
+		{"future version", `{"format":"prvm-decision-record","version":99}` + "\n", "unsupported format version"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewReader(strings.NewReader(tc.data))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReaderSkipsUnknownLineTypes(t *testing.T) {
+	var buf bytes.Buffer
+	r, err := NewWriter(&buf, RunMeta{Kind: "sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RecordDecision(sampleDecision(0, 1, 0.5))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Splice an unknown future line kind and a blank line between the
+	// header and the decision; both must be skipped without error.
+	parts := bytes.SplitN(buf.Bytes(), []byte("\n"), 2)
+	var spliced bytes.Buffer
+	spliced.Write(parts[0])
+	spliced.WriteString("\n" + `{"t":"future-kind","x":1}` + "\n\n")
+	spliced.Write(parts[1])
+	_, ds, _, err := ReadAllFrom(bytes.NewReader(spliced.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadAllFrom: %v", err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("decision lost among unknown lines: %d", len(ds))
+	}
+}
+
+func TestGzipSniffing(t *testing.T) {
+	// A gzip stream written without the .gz suffix hint must still be
+	// readable: the reader sniffs magic bytes, not file names.
+	var raw bytes.Buffer
+	gz := gzip.NewWriter(&raw)
+	r, err := NewWriter(gz, sampleMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RecordDecision(sampleDecision(7, 2, 0.125))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, ds, _, err := ReadAllFrom(&raw)
+	if err != nil {
+		t.Fatalf("ReadAllFrom(gzip): %v", err)
+	}
+	if len(ds) != 1 || ds[0].VM != 7 {
+		t.Fatalf("got %+v", ds)
+	}
+}
+
+func TestEquivalentSemantics(t *testing.T) {
+	base := sampleDecision(3, 9, 0.75)
+	t.Run("metadata ignored", func(t *testing.T) {
+		other := sampleDecision(3, 9, 0.75)
+		other.Seq = 99
+		other.Fast = false
+		other.Phases = nil
+		if !Equivalent(base, other) {
+			t.Fatal("seq/fast/phases must be metadata, not identity")
+		}
+	})
+	t.Run("identity fields compared", func(t *testing.T) {
+		mutate := map[string]func(*Decision){
+			"vm":            func(d *Decision) { d.VM++ },
+			"vm type":       func(d *Decision) { d.VMType = "c3.xlarge" },
+			"pm":            func(d *Decision) { d.PM++ },
+			"pm type":       func(d *Decision) { d.PMType = "other" },
+			"score bit":     func(d *Decision) { d.Score = math.Nextafter(d.Score, 1) },
+			"scanned":       func(d *Decision) { d.Scanned++ },
+			"profiles":      func(d *Decision) { d.Profiles++ },
+			"ties":          func(d *Decision) { d.Ties++ },
+			"tied pms":      func(d *Decision) { d.TiedPMs = []int{1} },
+			"opened":        func(d *Decision) { d.Opened = !d.Opened },
+			"rejected":      func(d *Decision) { d.Rejected = !d.Rejected },
+			"cand missing":  func(d *Decision) { d.Candidates = d.Candidates[:1] },
+			"cand status":   func(d *Decision) { d.Candidates[0].Status = StatusNoFit },
+			"cand score":    func(d *Decision) { d.Candidates[1].Score++ },
+			"cand unused":   func(d *Decision) { d.Candidates[0].Unused = true },
+			"cand profiles": func(d *Decision) { d.Candidates[0].Profiles++ },
+		}
+		for name, f := range mutate {
+			other := sampleDecision(3, 9, 0.75)
+			f(&other)
+			if Equivalent(base, other) {
+				t.Errorf("%s change must break equivalence", name)
+			}
+		}
+	})
+	t.Run("negative zero differs from zero bitwise", func(t *testing.T) {
+		a := sampleDecision(1, 1, 0)
+		b := sampleDecision(1, 1, math.Copysign(0, -1))
+		if Equivalent(a, b) {
+			t.Fatal("scores compare bitwise: -0 != +0")
+		}
+	})
+}
+
+func TestDiff(t *testing.T) {
+	mk := func(n int) []Decision {
+		out := make([]Decision, n)
+		for i := range out {
+			out[i] = sampleDecision(i, i%3, float64(i)/8)
+		}
+		return out
+	}
+	t.Run("clean", func(t *testing.T) {
+		s := Diff(mk(10), mk(10))
+		if !s.Clean() || s.First != nil || s.Divergent != 0 {
+			t.Fatalf("summary = %+v", s)
+		}
+		var buf bytes.Buffer
+		if err := s.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "zero divergences") {
+			t.Fatalf("report = %q", buf.String())
+		}
+	})
+	t.Run("score divergence", func(t *testing.T) {
+		a, b := mk(10), mk(10)
+		b[4].Score += 0.5
+		b[4].PM = 99
+		s := Diff(a, b)
+		if s.Clean() || s.Divergent != 1 {
+			t.Fatalf("summary = %+v", s)
+		}
+		if s.First == nil || s.First.Index != 4 {
+			t.Fatalf("first = %+v", s.First)
+		}
+		if s.MaxScoreDelta != 0.5 {
+			t.Fatalf("max score delta = %g", s.MaxScoreDelta)
+		}
+		wantVMs := []int{4}
+		if len(s.VMs) != 1 || s.VMs[0] != wantVMs[0] {
+			t.Fatalf("VMs = %v", s.VMs)
+		}
+		// Both chosen PMs count as affected.
+		if len(s.PMs) != 2 || s.PMs[0] != 1 || s.PMs[1] != 99 {
+			t.Fatalf("PMs = %v", s.PMs)
+		}
+	})
+	t.Run("length mismatch", func(t *testing.T) {
+		s := Diff(mk(5), mk(7))
+		if s.Divergent != 2 || s.First == nil || s.First.Index != 5 || s.First.A != nil {
+			t.Fatalf("summary = %+v first=%+v", s, s.First)
+		}
+	})
+	t.Run("sample cap", func(t *testing.T) {
+		a, b := mk(100), mk(100)
+		for i := range b {
+			b[i].PM = 1000 + i
+		}
+		s := Diff(a, b)
+		if s.Divergent != 100 || len(s.Samples) != maxDivergenceSamples {
+			t.Fatalf("divergent=%d samples=%d", s.Divergent, len(s.Samples))
+		}
+	})
+}
+
+func TestSummarizePhases(t *testing.T) {
+	ds := make([]Decision, 4)
+	for i := range ds {
+		ds[i] = sampleDecision(i, 0, 0.5)
+		ds[i].Phases = &Phases{ScanNs: int64(1000 * (i + 1)), CheckNs: 100, BindNs: 10}
+	}
+	ds = append(ds, Decision{VM: 9}) // no phases — skipped
+	spans := []Span{
+		{Name: "ranktable.build", Ns: 2_000_000},
+		{Name: "ranktable.build", Ns: 4_000_000},
+		{Name: "sim.run", Ns: 9_000_000},
+	}
+	sums := SummarizePhases(ds, spans)
+	byName := map[string]PhaseSummary{}
+	for _, s := range sums {
+		byName[s.Name] = s
+	}
+	if s := byName["place.scan"]; s.Count != 4 || s.Max != 4000e-9 {
+		t.Fatalf("place.scan = %+v", s)
+	}
+	if s := byName["ranktable.build"]; s.Count != 2 || s.Max != 4e-3 {
+		t.Fatalf("ranktable.build = %+v", s)
+	}
+	if s := byName["sim.run"]; s.Count != 1 || s.P50 != 9e-3 || s.P99 != 9e-3 {
+		t.Fatalf("single-sample percentiles must all equal the sample: %+v", s)
+	}
+	// Sorted by name.
+	for i := 1; i < len(sums); i++ {
+		if sums[i-1].Name >= sums[i].Name {
+			t.Fatalf("not sorted: %v", sums)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WritePhases(&buf, sums); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "place.scan") {
+		t.Fatalf("table = %q", buf.String())
+	}
+}
+
+func TestNilRecorderIsDisabled(t *testing.T) {
+	var r *Recorder
+	if r.Active() {
+		t.Fatal("nil recorder must report inactive")
+	}
+	r.RecordDecision(Decision{})
+	r.RecordSpan("x", 1, nil)
+	if d := r.Decisions(); d != nil {
+		t.Fatalf("Decisions = %v", d)
+	}
+	if s := r.Spans(); s != nil {
+		t.Fatalf("Spans = %v", s)
+	}
+	if nd, ns := r.Counts(); nd != 0 || ns != 0 {
+		t.Fatalf("Counts = %d, %d", nd, ns)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var rd *Reader
+	if h := rd.Header(); h.Format != "" {
+		t.Fatalf("nil reader header = %+v", h)
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("nil reader Next err = %v", err)
+	}
+	if err := rd.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectorCopiesScratch(t *testing.T) {
+	r := NewCollector()
+	d := sampleDecision(0, 1, 0.5)
+	cands := d.Candidates
+	tied := d.TiedPMs
+	r.RecordDecision(d)
+	// Mutate the caller's scratch buffers; the collected copy must not
+	// see it.
+	cands[0].PM = -77
+	tied[0] = -77
+	d.Phases.ScanNs = -77
+	got := r.Decisions()[0]
+	if got.Candidates[0].PM == -77 || got.TiedPMs[0] == -77 || got.Phases.ScanNs == -77 {
+		t.Fatalf("collector aliased caller scratch: %+v", got)
+	}
+}

@@ -3,8 +3,10 @@ package placement
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"pagerankvm/internal/obs"
+	"pagerankvm/internal/obs/record"
 	"pagerankvm/internal/ranktable"
 	"pagerankvm/internal/resource"
 )
@@ -43,6 +45,14 @@ type PageRankVM struct {
 	// WithObserver; every instrument call is then a no-op branch.
 	obs *obs.Observer
 	met placeMetrics
+
+	// rec is the decision recorder (WithRecorder). When nil — the
+	// default — Place skips candidate-set assembly and phase timing
+	// entirely behind one boolean check, leaving the hot path intact.
+	// recCands and recTied are scratch reused across decisions.
+	rec      *record.Recorder
+	recCands []record.Candidate
+	recTied  []int
 }
 
 // binding is the per-(PM type, VM) resolution Algorithm 2's candidate
@@ -71,7 +81,17 @@ type placeMetrics struct {
 	noCapacity      *obs.Counter // placement.no_capacity
 	evictionsScored *obs.Counter // placement.evictions_scored
 	victimsSelected *obs.Counter // placement.victims_selected
+
+	// Per-decision phase latency histograms, observed only while a
+	// recorder is attached (phase timing is not free).
+	phaseScan  *obs.Histogram // placement.phase_scan_seconds
+	phaseCheck *obs.Histogram // placement.phase_check_seconds
+	phaseBind  *obs.Histogram // placement.phase_bind_seconds
 }
+
+// phaseBuckets spans 10ns..~1.3s exponentially — per-decision phases
+// sit far below the DefSecondsBuckets floor of 1µs.
+func phaseBuckets() []float64 { return obs.ExpBuckets(1e-8, 2, 28) }
 
 func newPlaceMetrics(o *obs.Observer) placeMetrics {
 	return placeMetrics{
@@ -84,6 +104,9 @@ func newPlaceMetrics(o *obs.Observer) placeMetrics {
 		noCapacity:      o.Counter("placement.no_capacity"),
 		evictionsScored: o.Counter("placement.evictions_scored"),
 		victimsSelected: o.Counter("placement.victims_selected"),
+		phaseScan:       o.Histogram("placement.phase_scan_seconds", phaseBuckets()),
+		phaseCheck:      o.Histogram("placement.phase_check_seconds", phaseBuckets()),
+		phaseBind:       o.Histogram("placement.phase_bind_seconds", phaseBuckets()),
 	}
 }
 
@@ -133,6 +156,18 @@ func (o observerOption) apply(p *PageRankVM) {
 // keeps the instrumentation disabled at ~zero cost.
 func WithObserver(o *obs.Observer) PageRankOption { return observerOption{o: o} }
 
+type recorderOption struct{ r *record.Recorder }
+
+func (o recorderOption) apply(p *PageRankVM) { p.rec = o.r }
+
+// WithRecorder attaches a decision recorder: every Place call appends
+// one record.Decision — the full candidate set with scores and
+// rejection reasons, the tie-break path, and scan/check/bind phase
+// timings (also observed into the placement.phase_*_seconds histograms
+// when an observer is attached). A nil recorder (the default) keeps
+// recording disabled behind a single branch.
+func WithRecorder(r *record.Recorder) PageRankOption { return recorderOption{r: r} }
+
 // NewPageRankVM builds the placer over a registry holding one ranker
 // per PM type in the inventory.
 func NewPageRankVM(rankers *ranktable.Registry, opts ...PageRankOption) *PageRankVM {
@@ -170,6 +205,22 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 		p.met.twoChoiceDraws.Inc()
 	}
 
+	// rec gates every recording expense — candidate-set assembly,
+	// tie-path tracking, phase clocks — behind one branch, so the
+	// disabled path stays byte-for-byte the pre-recording loop.
+	rec := p.rec.Active()
+	var (
+		recCands  []record.Candidate
+		recTied   []int
+		ph        record.Phases
+		scanStart time.Time
+	)
+	if rec {
+		recCands = p.recCands[:0]
+		recTied = p.recTied[:0]
+		scanStart = time.Now()
+	}
+
 	var (
 		bestPM     *PM
 		bestAssign resource.Assignment
@@ -181,7 +232,19 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 	)
 	for _, pm := range candidates {
 		scanned++
-		if pm == exclude || !pm.Fits(vm) {
+		if rec {
+			if pm == exclude {
+				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusExcluded})
+				continue
+			}
+			t0 := time.Now()
+			fits := pm.Fits(vm)
+			ph.CheckNs += int64(time.Since(t0))
+			if !fits {
+				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusNoFit})
+				continue
+			}
+		} else if pm == exclude || !pm.Fits(vm) {
 			continue
 		}
 		b, err := p.binding(pm.Type, vm)
@@ -189,22 +252,37 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 			return nil, nil, err
 		}
 		if !b.hasDemand {
+			if rec {
+				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusNoDemand})
+			}
 			continue
 		}
 		score, assign, n, ok := p.scoreCandidate(b, pm)
 		profiles += n
 		if !ok {
+			if rec {
+				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusNoProfile, Profiles: n})
+			}
 			continue
+		}
+		if rec {
+			recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusScored, Score: score, Profiles: n})
 		}
 		switch {
 		case score > bestScore*(1+scoreEpsilon):
 			bestScore, bestPM, bestAssign, bestBind = score, pm, assign, b
 			ties = 1
+			if rec {
+				recTied = append(recTied[:0], pm.ID)
+			}
 		case score >= bestScore*(1-scoreEpsilon):
 			// Tie: reservoir-sample uniformly among tied candidates.
 			ties++
 			if p.rng.Intn(ties) == 0 {
 				bestPM, bestAssign, bestBind = pm, assign, b
+			}
+			if rec {
+				recTied = append(recTied, pm.ID)
 			}
 		}
 	}
@@ -213,6 +291,11 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 		p.met.profilesScored.Add(int64(profiles))
 		if ties > 1 {
 			p.met.tiesBroken.Add(int64(ties - 1))
+		}
+		var bindStart time.Time
+		if rec {
+			ph.ScanNs = int64(time.Since(scanStart))
+			bindStart = time.Now()
 		}
 		// Winners get their assignment here, once, instead of one per
 		// candidate: fast-path winners materialize from the move table,
@@ -226,13 +309,29 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 		} else {
 			bestAssign = alignAssign(bestPM.Shape, bestPM.used, bestAssign)
 		}
+		if rec {
+			ph.BindNs = int64(time.Since(bindStart))
+			p.recordPlace(vm, bestPM, bestScore, scanned, profiles, ties, recCands, recTied, bestBind.fast, false, &ph)
+		}
 		p.tracePlace(vm, bestPM, bestScore, scanned, profiles, ties, false)
 		return bestPM, bestAssign, nil
 	}
 	// Lines 17-24: fall back to an unused PM, choosing the
 	// best-scoring accommodation on the fresh profile.
 	for _, pm := range c.UnusedPMs() {
-		if pm == exclude || !pm.Fits(vm) {
+		if rec {
+			if pm == exclude {
+				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusExcluded, Unused: true})
+				continue
+			}
+			t0 := time.Now()
+			fits := pm.Fits(vm)
+			ph.CheckNs += int64(time.Since(t0))
+			if !fits {
+				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusNoFit, Unused: true})
+				continue
+			}
+		} else if pm == exclude || !pm.Fits(vm) {
 			continue
 		}
 		b, err := p.binding(pm.Type, vm)
@@ -240,11 +339,20 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 			return nil, nil, err
 		}
 		if !b.hasDemand {
+			if rec {
+				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusNoDemand, Unused: true})
+			}
 			continue
 		}
 		_, assign, n, ok := p.scoreCandidate(b, pm)
 		profiles += n
 		if ok {
+			var bindStart time.Time
+			if rec {
+				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusScored, Profiles: n, Unused: true})
+				ph.ScanNs = int64(time.Since(scanStart))
+				bindStart = time.Now()
+			}
 			if assign == nil {
 				assign = p.materialize(b, pm)
 			} else {
@@ -253,14 +361,59 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 			if assign != nil {
 				p.met.profilesScored.Add(int64(profiles))
 				p.met.pmsOpened.Inc()
+				if rec {
+					ph.BindNs = int64(time.Since(bindStart))
+					p.recordPlace(vm, pm, 0, scanned, profiles, 0, recCands, nil, b.fast, true, &ph)
+				}
 				p.tracePlace(vm, pm, 0, scanned, profiles, 0, true)
 				return pm, assign, nil
 			}
+		} else if rec {
+			recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusNoProfile, Profiles: n, Unused: true})
 		}
 	}
 	p.met.profilesScored.Add(int64(profiles))
 	p.met.noCapacity.Inc()
+	if rec {
+		ph.ScanNs = int64(time.Since(scanStart))
+		p.recordPlace(vm, nil, 0, scanned, profiles, 0, recCands, nil, false, false, &ph)
+	}
 	return nil, nil, ErrNoCapacity
+}
+
+// recordPlace assembles and appends one record.Decision, feeds the
+// phase histograms, and stashes the candidate scratch for reuse.
+func (p *PageRankVM) recordPlace(vm *VM, pm *PM, score float64, scanned, profiles, ties int, cands []record.Candidate, tied []int, fast, opened bool, ph *record.Phases) {
+	d := record.Decision{
+		VM:         vm.ID,
+		VMType:     vm.Type,
+		PM:         -1,
+		Score:      score,
+		Scanned:    scanned,
+		Profiles:   profiles,
+		Ties:       ties,
+		Opened:     opened,
+		Candidates: cands,
+		Fast:       fast,
+		Phases:     ph,
+	}
+	if pm != nil {
+		d.PM = pm.ID
+		d.PMType = pm.Type
+	} else {
+		d.Rejected = true
+	}
+	if ties > 1 {
+		d.TiedPMs = tied
+	}
+	p.rec.RecordDecision(d)
+	p.met.phaseScan.Observe(float64(ph.ScanNs) / 1e9)
+	p.met.phaseCheck.Observe(float64(ph.CheckNs) / 1e9)
+	p.met.phaseBind.Observe(float64(ph.BindNs) / 1e9)
+	// RecordDecision copied (collector) or serialized (JSONL) the
+	// slices, so the scratch can be handed back for the next decision.
+	p.recCands = cands[:0]
+	p.recTied = tied[:0]
 }
 
 // tracePlace emits one structured decision event; field assembly is

@@ -22,6 +22,7 @@ import (
 
 	"pagerankvm/internal/lattice"
 	"pagerankvm/internal/obs"
+	"pagerankvm/internal/obs/record"
 	"pagerankvm/internal/opt"
 	"pagerankvm/internal/pagerank"
 	"pagerankvm/internal/resource"
@@ -143,6 +144,10 @@ type Options struct {
 	// score-lookup hit/miss counts, and the Algorithm 1 convergence
 	// stats (pagerank.* metrics).
 	Obs *obs.Observer
+	// Recorder, when non-nil, appends a "ranktable.build" span per
+	// table build to the decision recording (one per group table for
+	// NewFactored, labelled with the group name).
+	Recorder *record.Recorder
 	// WireWorkers caps the goroutines wiring lattice successor edges;
 	// zero selects GOMAXPROCS (see lattice.Options.Workers). Output is
 	// identical for every worker count.
@@ -170,6 +175,8 @@ func NewJoint(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*
 		}
 		o.Histogram("ranktable.build_seconds", nil).Observe(time.Since(start).Seconds())
 	}
+	opts.Recorder.RecordSpan("ranktable.build", time.Since(start).Nanoseconds(),
+		map[string]string{"mode": opts.Mode.String()})
 	return t, nil
 }
 
@@ -384,6 +391,7 @@ func NewFactored(shape *resource.Shape, vmTypes []resource.VMType, opts Options)
 		wg.Add(1)
 		go func(gi int) {
 			defer wg.Done()
+			start := time.Now()
 			sub := shape.SubShape(gi)
 			var projected []resource.VMType
 			for _, vt := range vmTypes {
@@ -391,12 +399,19 @@ func NewFactored(shape *resource.Shape, vmTypes []resource.VMType, opts Options)
 					projected = append(projected, p)
 				}
 			}
-			table, err := NewJoint(sub, projected, opts)
+			// Group builds span under the group's name instead of the
+			// generic NewJoint span (the recorder is concurrency-safe,
+			// so parallel group builds interleave cleanly).
+			gopts := opts
+			gopts.Recorder = nil
+			table, err := NewJoint(sub, projected, gopts)
 			if err != nil {
 				errs[gi] = fmt.Errorf("ranktable: group %q: %w", shape.Group(gi).Name, err)
 				return
 			}
 			f.groups[gi] = table
+			opts.Recorder.RecordSpan("ranktable.build", time.Since(start).Nanoseconds(),
+				map[string]string{"mode": opts.Mode.String(), "group": shape.Group(gi).Name})
 		}(gi)
 	}
 	wg.Wait()

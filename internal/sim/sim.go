@@ -21,10 +21,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"pagerankvm/internal/energy"
 	"pagerankvm/internal/obs"
+	"pagerankvm/internal/obs/record"
 	"pagerankvm/internal/opt"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/resource"
@@ -75,6 +77,12 @@ type Config struct {
 	// of Observer: that hook is per-step time-series data, this one is
 	// aggregate instrumentation.
 	Obs *obs.Observer
+	// Recorder, when non-nil, appends "sim.tick" spans (one per
+	// monitoring interval, labelled with the step index) and one
+	// closing "sim.run" span to the decision recording. Pair it with
+	// placement.WithRecorder on the placer for the decision stream
+	// itself.
+	Recorder *record.Recorder
 }
 
 // StepStats is the per-interval snapshot passed to Config.Observer.
@@ -307,10 +315,27 @@ func (s *Simulation) Run() (Result, error) {
 
 	meter := &energy.Meter{}
 	steps := s.cfg.Steps()
+	rec := s.cfg.Recorder.Active()
+	var runStart time.Time
+	if rec {
+		runStart = time.Now()
+	}
 	for step := 0; step < steps; step++ {
+		var tickStart time.Time
+		if rec {
+			tickStart = time.Now()
+		}
 		if err := s.tick(step, meter, &res); err != nil {
 			return res, err
 		}
+		if rec {
+			s.cfg.Recorder.RecordSpan("sim.tick", time.Since(tickStart).Nanoseconds(),
+				map[string]string{"step": strconv.Itoa(step)})
+		}
+	}
+	if rec {
+		s.cfg.Recorder.RecordSpan("sim.run", time.Since(runStart).Nanoseconds(),
+			map[string]string{"steps": strconv.Itoa(steps)})
 	}
 	res.EnergyKWh = meter.KWh()
 	res.PMsUsed = s.cluster.MaxUsed

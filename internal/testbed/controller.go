@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
 	"pagerankvm/internal/obs"
+	"pagerankvm/internal/obs/record"
 	"pagerankvm/internal/opt"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/resource"
@@ -62,6 +64,12 @@ type Config struct {
 	// control-protocol latency, transport errors, retries, timeouts,
 	// dead agents and recovery placements (testbed.*).
 	Obs *obs.Observer
+	// Recorder, when non-nil, appends "testbed.round" spans (one per
+	// control interval, labelled with the step index) and a closing
+	// "testbed.run" span to the decision recording. Attach the same
+	// recorder to the placer (placement.WithRecorder) for the decision
+	// stream itself.
+	Recorder *record.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -225,10 +233,27 @@ func (c *Controller) DeadAgents() []int {
 func (c *Controller) Run() (Result, error) {
 	var res Result
 	defer c.shutdown()
+	rec := c.cfg.Recorder.Active()
+	var runStart time.Time
+	if rec {
+		runStart = time.Now()
+	}
 	for step := 0; step < c.cfg.Steps; step++ {
+		var roundStart time.Time
+		if rec {
+			roundStart = time.Now()
+		}
 		if err := c.round(step, &res); err != nil {
 			return res, err
 		}
+		if rec {
+			c.cfg.Recorder.RecordSpan("testbed.round", time.Since(roundStart).Nanoseconds(),
+				map[string]string{"step": strconv.Itoa(step)})
+		}
+	}
+	if rec {
+		c.cfg.Recorder.RecordSpan("testbed.run", time.Since(runStart).Nanoseconds(),
+			map[string]string{"steps": strconv.Itoa(c.cfg.Steps)})
 	}
 	res.PMsUsed = c.cluster.MaxUsed
 	if res.ActivePMSteps > 0 {

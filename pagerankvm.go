@@ -5,6 +5,7 @@ import (
 
 	"pagerankvm/internal/energy"
 	"pagerankvm/internal/mip"
+	"pagerankvm/internal/obs/record"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/ranktable"
 	"pagerankvm/internal/resource"
@@ -148,6 +149,41 @@ func WithTwoChoice() PageRankOption { return placement.WithTwoChoice() }
 
 // WithSeed seeds the placer's tie-breaking generator.
 func WithSeed(seed int64) PageRankOption { return placement.WithSeed(seed) }
+
+// WithRecorder attaches a decision recorder to the placer (see
+// internal/obs/record and DESIGN.md §11).
+func WithRecorder(r *Recorder) PageRankOption { return placement.WithRecorder(r) }
+
+// Decision recording (internal/obs/record).
+type (
+	// Recorder appends placement decisions and spans to a recording.
+	Recorder = record.Recorder
+	// RecordMeta is the replayable run configuration in a recording's
+	// header.
+	RecordMeta = record.RunMeta
+	// RecordedDecision is one captured placement decision.
+	RecordedDecision = record.Decision
+	// RecordedSpan is one captured span-style timing.
+	RecordedSpan = record.Span
+	// RecordDiff summarizes a decision-by-decision comparison of two
+	// recordings.
+	RecordDiff = record.DiffSummary
+)
+
+// CreateRecording starts a JSONL recording at path (gzip when the path
+// ends in ".gz").
+func CreateRecording(path string, meta RecordMeta) (*Recorder, error) {
+	return record.Create(path, meta)
+}
+
+// ReadRecording loads a recording written with CreateRecording.
+func ReadRecording(path string) (RecordMeta, []RecordedDecision, []RecordedSpan, error) {
+	hdr, ds, ss, err := record.ReadAll(path)
+	return hdr.Meta, ds, ss, err
+}
+
+// DiffRecordings compares two decision streams (see record.Diff).
+func DiffRecordings(a, b []RecordedDecision) RecordDiff { return record.Diff(a, b) }
 
 // Simulation (internal/sim).
 type (
