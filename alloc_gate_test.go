@@ -1,0 +1,61 @@
+//go:build !race
+
+package pagerankvm_test
+
+// Allocation gate for the ~25ns ScoreOn fast path: the hotalloc
+// analyzer holds the annotated functions allocation-free statically,
+// and this test holds them there at runtime. Excluded under -race
+// because the race runtime instruments allocations and skews
+// AllocsPerRun.
+
+import (
+	"testing"
+
+	"pagerankvm/internal/experiments"
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+)
+
+func TestScoreOnZeroAllocs(t *testing.T) {
+	cat, err := experiments.AmazonCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := cat.BuildRegistry(ranktable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	placer := placement.NewPageRankVM(reg, placement.WithSeed(1))
+	cluster := cat.BuildCluster(4)
+	for id := 0; id < 6; id++ {
+		vm, err := cat.NewVM(id, "m3.large")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pm, assign, err := placer.Place(cluster, vm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cluster.Host(pm, vm, assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pm := cluster.UsedPMs()[0]
+	probe, err := cat.NewVM(10_000, "c3.xlarge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the per-PM node-id cache so the measured loop is pure
+	// steady state — exactly what BenchmarkPlaceLookup/fast times.
+	if _, ok := placer.ScoreOn(pm, probe); !ok {
+		t.Fatal("probe does not fit the loaded PM")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := placer.ScoreOn(pm, probe); !ok {
+			t.Fatal("lookup failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ScoreOn fast path allocates %.1f times per op, want 0", allocs)
+	}
+}

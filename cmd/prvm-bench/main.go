@@ -129,7 +129,7 @@ func run(args []string) error {
 	if err := cmd.Run(); err != nil {
 		return fmt.Errorf("go test -bench: %w", err)
 	}
-	os.Stderr.Write(buf.Bytes())
+	_, _ = os.Stderr.Write(buf.Bytes())
 
 	results, err := parseBench(&buf)
 	if err != nil {
@@ -137,6 +137,14 @@ func run(args []string) error {
 	}
 	if len(results) == 0 {
 		return fmt.Errorf("no benchmark results matched %q", *benchRe)
+	}
+	// The id-indexed lookup path must stay allocation-free: the
+	// hotalloc analyzer and the alloc_gate test assert it statically
+	// and in-process, and the harness refuses to bless a regression.
+	for _, r := range results {
+		if r.Name == "BenchmarkPlaceLookup/fast" && r.AllocsPer != nil && *r.AllocsPer > 0 {
+			return fmt.Errorf("%s allocates %.1f allocs/op, want 0", r.Name, *r.AllocsPer)
+		}
 	}
 
 	rep := report{
@@ -186,7 +194,7 @@ func benchReplay(numVMs int) (*replayReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }()
 	path := filepath.Join(dir, "run.jsonl.gz")
 
 	recStart := time.Now()

@@ -171,7 +171,9 @@ func setupObs(addr, metricsOut string) (*obs.Observer, error) {
 	if addr != "" {
 		ring := obs.NewRingSink(4096)
 		o.SetSink(ring)
-		bound, err := obs.Serve(addr, o, ring)
+		// The stop handle is deliberately dropped: the endpoint serves
+		// for the remaining process lifetime.
+		bound, _, err := obs.Serve(addr, o, ring)
 		if err != nil {
 			return nil, err
 		}

@@ -49,7 +49,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		defer func() { _ = f.Close() }() // read-only input; close cannot lose data
 		in = f
 	}
 	inst, err := mip.ReadInstance(in)

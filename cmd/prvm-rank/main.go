@@ -78,8 +78,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
 		if err := table.Save(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		// Write path: the close error is the last chance to hear about
+		// a truncated table file.
+		if err := f.Close(); err != nil {
 			return err
 		}
 		fmt.Printf("saved table to %s\n", *save)

@@ -139,8 +139,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer out.Close()
 		if err := sweep.WriteCSV(out); err != nil {
+			_ = out.Close()
+			return err
+		}
+		// Write path: the close error is the last chance to hear about
+		// a truncated CSV.
+		if err := out.Close(); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
@@ -164,7 +169,9 @@ func setupObs(addr, metricsOut string) (*obs.Observer, error) {
 	if addr != "" {
 		ring := obs.NewRingSink(4096)
 		o.SetSink(ring)
-		bound, err := obs.Serve(addr, o, ring)
+		// The stop handle is deliberately dropped: the endpoint serves
+		// for the remaining process lifetime.
+		bound, _, err := obs.Serve(addr, o, ring)
 		if err != nil {
 			return nil, err
 		}

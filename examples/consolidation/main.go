@@ -97,9 +97,11 @@ func run() error {
 	// One factored ranker per PM type.
 	reg := pagerankvm.NewRegistry()
 	for name, shape := range shapes {
+		// Walk vmSpecs (not the demands map) so the type list — and
+		// with it the rank table build — is ordered deterministically.
 		var types []pagerankvm.VMType
-		for _, d := range demands[name] {
-			if d.Validate(shape) == nil {
+		for _, v := range vmSpecs {
+			if d, ok := demands[name][v.name]; ok && d.Validate(shape) == nil {
 				types = append(types, d)
 			}
 		}

@@ -1,6 +1,9 @@
 package analysis_test
 
 import (
+	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
 	"pagerankvm/internal/analysis"
@@ -35,6 +38,74 @@ func TestVeclen(t *testing.T) {
 
 func TestLockscope(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Lockscope, "sim")
+}
+
+// The maporder fixture is deliberately a two-file package: wants and
+// diagnostics must be collected package-wide.
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Maporder, "maporder")
+}
+
+// The goroleak fixture imports the lifecycle fixture package:
+// channel/context/WaitGroup arguments are recognized by type across
+// the package boundary.
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Goroleak, "goroleak")
+}
+
+func TestDeadlinecall(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Deadlinecall, "testbed")
+}
+
+func TestErrswallow(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Errswallow, "errswallow")
+}
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Atomicmix, "atomicmix")
+}
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Hotalloc, "hotalloc")
+}
+
+// TestAllowNamesExactAnalyzers proves //prvmlint:allow suppresses
+// exactly the analyzers it names. The allowtest fixture repeats one
+// statement that trips both deadlinecall and errswallow: once with no
+// directive (both report), once naming only errswallow (deadlinecall
+// survives), once naming both (silence).
+func TestAllowNamesExactAnalyzers(t *testing.T) {
+	pkg, err := analysis.LoadFixture(filepath.Join("testdata", "src"), "allowtest")
+	if err != nil {
+		t.Fatalf("LoadFixture: %v", err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg},
+		[]*analysis.Analyzer{analysis.Deadlinecall, analysis.Errswallow})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	byLine := make(map[int][]string)
+	for _, d := range diags {
+		byLine[d.Pos.Line] = append(byLine[d.Pos.Line], d.Analyzer)
+	}
+	if len(diags) != 3 || len(byLine) != 2 {
+		t.Fatalf("want 3 diagnostics on 2 lines (control: both; one-name: deadlinecall), got %v", diags)
+	}
+	var sawBoth, sawSurvivor bool
+	for line, names := range byLine {
+		sort.Strings(names)
+		switch strings.Join(names, "+") {
+		case "deadlinecall+errswallow":
+			sawBoth = true
+		case "deadlinecall":
+			sawSurvivor = true
+		default:
+			t.Errorf("line %d: unexpected analyzer set %v", line, names)
+		}
+	}
+	if !sawBoth || !sawSurvivor {
+		t.Errorf("want one line reported by both analyzers and one by deadlinecall alone, got %v", byLine)
+	}
 }
 
 // TestSuiteCleanOnSelf runs every analyzer over the analysis package

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Baseline support: a checked-in inventory of pre-existing findings
+// that the gate tolerates until the code they sit on is touched.
+//
+// An entry is one line, tab-separated:
+//
+//	file<TAB>analyzer<TAB>message
+//
+// with '#' comments and blank lines ignored. Line numbers are
+// deliberately absent: an edit far above a baselined finding must not
+// resurrect it. Editing the flagged construct itself either removes
+// the finding (the entry goes stale — an error, so the baseline
+// shrinks monotonically) or changes its message (the new finding is
+// unbaselined — also an error). Both directions fail closed.
+//
+// Entries are counted, not set-matched: two identical findings in one
+// file need two identical lines, so deleting one of two baselined
+// constructs still shrinks the baseline.
+
+// BaselineEntry identifies one tolerated finding.
+type BaselineEntry struct {
+	File     string // slash-separated, relative to the lint root
+	Analyzer string
+	Message  string
+}
+
+func (e BaselineEntry) String() string {
+	return e.File + "\t" + e.Analyzer + "\t" + e.Message
+}
+
+// ParseBaseline parses the baseline format. Order is irrelevant;
+// duplicate lines accumulate.
+func ParseBaseline(data []byte) ([]BaselineEntry, error) {
+	var entries []BaselineEntry
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want file<TAB>analyzer<TAB>message, got %q", i+1, line)
+		}
+		entries = append(entries, BaselineEntry{File: parts[0], Analyzer: parts[1], Message: parts[2]})
+	}
+	return entries, nil
+}
+
+// FormatBaseline renders diagnostics as a baseline file. rel maps a
+// diagnostic's (absolute) filename to the stable relative form stored
+// in the baseline.
+func FormatBaseline(diags []Diagnostic, rel func(string) string) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("# prvm-lint baseline: pre-existing findings tolerated until their code is touched.\n")
+	buf.WriteString("# One per line: file<TAB>analyzer<TAB>message. Regenerate: make lint-baseline.\n")
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		e := BaselineEntry{File: rel(d.Pos.Filename), Analyzer: d.Analyzer, Message: d.Message}
+		lines = append(lines, e.String())
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		buf.WriteString(l)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// ApplyBaseline consumes one baseline entry per matching diagnostic
+// and returns the diagnostics left unmatched plus the entries that
+// matched nothing (stale — the finding they tolerated is gone).
+func ApplyBaseline(diags []Diagnostic, entries []BaselineEntry, rel func(string) string) (remaining []Diagnostic, stale []BaselineEntry) {
+	budget := make(map[BaselineEntry]int, len(entries))
+	for _, e := range entries {
+		budget[e]++
+	}
+	for _, d := range diags {
+		e := BaselineEntry{File: rel(d.Pos.Filename), Analyzer: d.Analyzer, Message: d.Message}
+		if budget[e] > 0 {
+			budget[e]--
+			continue
+		}
+		remaining = append(remaining, d)
+	}
+	for _, e := range entries {
+		if budget[e] > 0 {
+			budget[e]--
+			stale = append(stale, e)
+		}
+	}
+	sort.Slice(stale, func(i, j int) bool { return stale[i].String() < stale[j].String() })
+	return remaining, stale
+}

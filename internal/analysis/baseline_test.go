@@ -1,0 +1,112 @@
+package analysis_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"pagerankvm/internal/analysis"
+)
+
+func diag(file string, line int, name, msg string) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Analyzer: name,
+		Message:  msg,
+	}
+}
+
+func ident(f string) string { return f }
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		diag("b.go", 30, "errswallow", "call discards its error result"),
+		diag("a.go", 10, "maporder", "append to out inside map iteration"),
+	}
+	data := analysis.FormatBaseline(diags, ident)
+	entries, err := analysis.ParseBaseline(data)
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("want 2 entries, got %v", entries)
+	}
+	remaining, stale := analysis.ApplyBaseline(diags, entries, ident)
+	if len(remaining) != 0 || len(stale) != 0 {
+		t.Fatalf("round trip should fully match: remaining=%v stale=%v", remaining, stale)
+	}
+}
+
+// Line numbers are not part of the match: a finding that moved still
+// hits its baseline entry.
+func TestBaselineIgnoresLineNumbers(t *testing.T) {
+	entries, err := analysis.ParseBaseline(analysis.FormatBaseline(
+		[]analysis.Diagnostic{diag("a.go", 10, "goroleak", "goroutine has no signal")}, ident))
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	moved := []analysis.Diagnostic{diag("a.go", 99, "goroleak", "goroutine has no signal")}
+	remaining, stale := analysis.ApplyBaseline(moved, entries, ident)
+	if len(remaining) != 0 || len(stale) != 0 {
+		t.Fatalf("moved finding should still match: remaining=%v stale=%v", remaining, stale)
+	}
+}
+
+// Entries are counted, not set-matched: deleting one of two identical
+// baselined findings leaves a stale entry.
+func TestBaselineCounts(t *testing.T) {
+	two := []analysis.Diagnostic{
+		diag("a.go", 5, "errswallow", "call discards its error result"),
+		diag("a.go", 9, "errswallow", "call discards its error result"),
+	}
+	entries, err := analysis.ParseBaseline(analysis.FormatBaseline(two, ident))
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+
+	remaining, stale := analysis.ApplyBaseline(two[:1], entries, ident)
+	if len(remaining) != 0 {
+		t.Errorf("one of two findings fixed: nothing should remain, got %v", remaining)
+	}
+	if len(stale) != 1 {
+		t.Errorf("one of two findings fixed: exactly one entry goes stale, got %v", stale)
+	}
+
+	three := append(two, diag("a.go", 40, "errswallow", "call discards its error result"))
+	remaining, stale = analysis.ApplyBaseline(three, entries, ident)
+	if len(remaining) != 1 || len(stale) != 0 {
+		t.Errorf("third identical finding exceeds the budget: remaining=%v stale=%v", remaining, stale)
+	}
+}
+
+func TestBaselineStaleAndNew(t *testing.T) {
+	entries, err := analysis.ParseBaseline([]byte(
+		"# comment\n\nold.go\tmaporder\tappend to out inside map iteration\n"))
+	if err != nil {
+		t.Fatalf("ParseBaseline: %v", err)
+	}
+	diags := []analysis.Diagnostic{diag("new.go", 3, "hotalloc", "make in hotpath function f allocates")}
+	remaining, stale := analysis.ApplyBaseline(diags, entries, ident)
+	if len(remaining) != 1 || remaining[0].Analyzer != "hotalloc" {
+		t.Errorf("unbaselined finding must survive, got %v", remaining)
+	}
+	if len(stale) != 1 || stale[0].File != "old.go" {
+		t.Errorf("unmatched entry must be stale, got %v", stale)
+	}
+}
+
+func TestBaselineParseErrors(t *testing.T) {
+	if _, err := analysis.ParseBaseline([]byte("no tabs here\n")); err == nil {
+		t.Error("malformed line should fail to parse")
+	}
+	if _, err := analysis.ParseBaseline([]byte("f.go\tonlyone\n")); err == nil {
+		t.Error("two-field line should fail to parse")
+	}
+	entries, err := analysis.ParseBaseline([]byte("# only comments\n\n"))
+	if err != nil || len(entries) != 0 {
+		t.Errorf("comment-only baseline: want empty, got %v, %v", entries, err)
+	}
+	if !strings.HasPrefix(string(analysis.FormatBaseline(nil, ident)), "#") {
+		t.Error("formatted baseline should start with its header comment")
+	}
+}

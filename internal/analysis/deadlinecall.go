@@ -1,0 +1,150 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Deadlinecall requires blocking transport calls in the testbed to sit
+// on a deadline-armed path.
+//
+// PR 5's fault model only works because every control-protocol round
+// trip is bounded: Config.CallTimeout arms the conn's deadline before
+// Send/Recv, so a dropped message becomes a timeout (and a retry, and
+// eventually dead-agent recovery) instead of a controller hung forever
+// on a Recv that no one will answer. A new blocking call that skips
+// the arming step silently reintroduces the hang.
+//
+// Within internal/testbed, the analyzer flags calls to Send/Recv on
+// testbed connection types and Read/Write on net.Conn, unless
+//
+//   - the enclosing function also calls SetDeadline (or the Read/Write
+//     variants) — the controller's roundTrip shape, or
+//   - the enclosing method's receiver itself has a SetDeadline method
+//     — transport wrappers (chanConn, gobConn, faultConn) forward
+//     calls whose deadline the caller armed.
+//
+// Deliberately unbounded calls (the agent loop blocking for the next
+// command, fenced by conn Close) carry //prvmlint:allow deadlinecall
+// with the reason.
+var Deadlinecall = &Analyzer{
+	Name: "deadlinecall",
+	Doc:  "testbed Send/Recv/Read/Write must be on a path that arms a deadline",
+	Run:  runDeadlinecall,
+}
+
+// deadlinecallPkg scopes the analyzer to the testbed (by import path in
+// this module, by package name in fixtures).
+func deadlinecallPkg(pkg *types.Package) bool {
+	return strings.HasSuffix(pkg.Path(), "internal/testbed") || pkg.Name() == "testbed"
+}
+
+var deadlineSetters = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+func runDeadlinecall(pass *Pass) error {
+	if !deadlinecallPkg(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv != nil && hasSetDeadline(pass, fd.Recv.List[0].Type) {
+				continue // transport wrapper: the caller arms the deadline
+			}
+			checkDeadlineBody(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// hasSetDeadline reports whether the receiver type's method set
+// includes SetDeadline.
+func hasSetDeadline(pass *Pass, recv ast.Expr) bool {
+	t := exprType(pass, recv)
+	if t == nil {
+		return false
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if deadlineSetters[ms.At(i).Obj().Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDeadlineBody flags blocking transport calls in one function
+// body unless a deadline-arming call is present in the same body
+// (nested literals included: DialTCPPair's accept goroutine belongs to
+// the dial's deadline discipline).
+func checkDeadlineBody(pass *Pass, body *ast.BlockStmt) {
+	armed := false
+	var blocking []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if deadlineSetters[sel.Sel.Name] {
+			armed = true
+			return true
+		}
+		if isBlockingTransportCall(pass, sel) {
+			blocking = append(blocking, call)
+		}
+		return true
+	})
+	if armed {
+		return
+	}
+	for _, call := range blocking {
+		sel := call.Fun.(*ast.SelectorExpr)
+		pass.Reportf(call.Pos(),
+			"%s.%s() blocks with no deadline armed in this function; arm SetDeadline from Config.CallTimeout or the call can hang forever",
+			types.ExprString(sel.X), sel.Sel.Name)
+	}
+}
+
+// isBlockingTransportCall reports whether sel names a blocking
+// transport method: Send/Recv declared in a testbed package, or
+// Read/Write on a net.Conn.
+func isBlockingTransportCall(pass *Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Send", "Recv":
+		return deadlinecallPkg(fn.Pkg())
+	case "Read", "Write":
+		if fn.Pkg().Path() != "net" {
+			return false
+		}
+		return isNetConn(exprType(pass, sel.X))
+	}
+	return false
+}
+
+func isNetConn(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Conn" && obj.Pkg() != nil && obj.Pkg().Path() == "net"
+}

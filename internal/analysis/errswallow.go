@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Errswallow flags call statements that silently drop an error result.
+//
+// This is the PR 5 silent-job-loss shape: a dispatch failure whose
+// error went nowhere, so jobs vanished without a trace until the
+// dead-agent sweep found the hole. A call used as a bare statement
+// (or deferred) discards every result; when one of those results is an
+// error, the failure path is invisible — no log line, no counter, no
+// propagation.
+//
+// The fix is always one of three, in order of preference: propagate
+// the error, record it (obs counter or log), or discard it explicitly
+// with `_ = f()` so the drop is a visible decision rather than an
+// accident. The analyzer treats the explicit discard as sanctioned —
+// it only flags the bare statement form.
+//
+// Writers that are documented never to fail (fmt print family,
+// bytes.Buffer, strings.Builder) are exempt: their error results exist
+// only to satisfy io interfaces.
+var Errswallow = &Analyzer{
+	Name: "errswallow",
+	Doc:  "bare call statements must not discard error results; propagate, record, or discard with _ =",
+	Run:  runErrswallow,
+}
+
+func runErrswallow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkErrswallowCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkErrswallowCall(pass, s.Call, "deferred ")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrswallowCall(pass *Pass, call *ast.CallExpr, form string) {
+	if !returnsError(pass, call) || errswallowExempt(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"%scall discards its error result; propagate it, record it, or discard explicitly with _ =", form)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// errswallowExempt reports whether the callee's error result is
+// vestigial: the fmt print family and the in-memory writers whose
+// documentation guarantees a nil error.
+func errswallowExempt(pass *Pass, call *ast.CallExpr) bool {
+	if calleePackage(pass, call) == "fmt" && fmtPrintFuncs[calleeName(pass, call)] {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := exprType(pass, sel.X)
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}

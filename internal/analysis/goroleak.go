@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goroleak flags `go` statements that spawn a goroutine with no
+// visible completion or cancellation mechanism.
+//
+// The testbed control plane (PR 5) fixed goroutine leaks by hand:
+// agent loops that outlived their conns, accept goroutines holding
+// half-open sockets. The common factor was a goroutine nothing could
+// wait for or stop. The analyzer requires every spawned goroutine to
+// carry at least one lifecycle signal:
+//
+//   - a sync.WaitGroup method call (Done/Add) in the body,
+//   - a channel operation — send, receive, close, or select — in the
+//     body (completion channels, done channels, result channels),
+//   - a context.Context value in scope of the body, or
+//   - for `go f(args...)` on a named function: a channel, context or
+//     *sync.WaitGroup among the arguments (the callee owns the
+//     signal).
+//
+// A goroutine with none of these cannot be joined, cannot be
+// cancelled, and leaks silently when its work outlives the caller —
+// under sustained traffic that is an unbounded goroutine (and often
+// conn) leak. Intentional process-lifetime goroutines carry a
+// //prvmlint:allow goroleak with a reason.
+var Goroleak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "go statements need a WaitGroup, channel operation, or context reachable in scope",
+	Run:  runGoroleak,
+}
+
+func runGoroleak(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if !hasLifecycleSignal(pass, lit.Body) && !hasLifecycleArg(pass, g.Call) {
+					pass.Reportf(g.Pos(),
+						"goroutine has no WaitGroup, channel operation, or context: nothing can wait for it or stop it")
+				}
+				return true
+			}
+			if !hasLifecycleArg(pass, g.Call) {
+				pass.Reportf(g.Pos(),
+					"goroutine call passes no WaitGroup, channel, or context: nothing can wait for it or stop it")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasLifecycleSignal reports whether body contains a WaitGroup call, a
+// channel operation, a select, or a context.Context use. Nested
+// function literals count: a completion signal sent from a helper
+// closure still fences the goroutine.
+func hasLifecycleSignal(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			if isChanType(exprType(pass, s.X)) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isBuiltinCall(pass, s, "close") {
+				found = true
+			}
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+					(fn.Name() == "Done" || fn.Name() == "Add" || fn.Name() == "Wait") {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[s]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasLifecycleArg reports whether the call's arguments (or method
+// receiver) include a channel, a context.Context, or a *sync.WaitGroup
+// — the callee is then assumed to manage the goroutine's lifecycle.
+func hasLifecycleArg(pass *Pass, call *ast.CallExpr) bool {
+	exprs := append([]ast.Expr(nil), call.Args...)
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, e := range exprs {
+		t := exprType(pass, e)
+		if isChanType(t) || isContextType(t) || isWaitGroupPtr(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func isWaitGroupPtr(t types.Type) bool {
+	p, ok := types.Unalias(t).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := types.Unalias(p.Elem()).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

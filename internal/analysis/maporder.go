@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags ranging over a map where the loop body produces
+// order-sensitive results.
+//
+// Go randomizes map iteration order per range statement, so any value
+// computed inside a map range that depends on visit order differs
+// between two runs of the same binary with the same seed. That breaks
+// the decision-stream contract the golden-replay gate (DESIGN.md §11)
+// enforces: Algorithm 2 must produce one canonical decision sequence
+// per seed, bit for bit. Three body shapes are order-sensitive:
+//
+//   - appending to a slice declared outside the loop — unless the
+//     slice is later passed to a sort call in the same function (the
+//     canonical collect-then-sort fix, which the analyzer recognizes
+//     and leaves alone);
+//   - floating-point accumulation (+=, -=, *=, /= on float operands,
+//     including indexed element updates): float arithmetic is not
+//     associative, so the accumulated value depends on visit order
+//     even when the set of contributions is identical;
+//   - emitting output or recording decisions (fmt print family calls,
+//     methods of the internal/obs/record recorder): the stream order
+//     becomes the map order.
+//
+// Integer accumulation is exact and commutative, map/set building has
+// no order, and both stay legal.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration feeding slices, float accumulators, output or the decision recorder is order-dependent",
+	Run:  runMaporder,
+}
+
+func runMaporder(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkMaporderFunc(pass, fn.Body)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMaporderFunc scans one function body (closures are visited as
+// part of it: the sorted-later exemption must see sorts wherever they
+// happen in the function).
+func checkMaporderFunc(pass *Pass, body *ast.BlockStmt) {
+	sorted := sortedSlices(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(exprType(pass, rng.X)) {
+			return true
+		}
+		checkMaporderBody(pass, rng, sorted)
+		return true
+	})
+}
+
+// sortedSlices collects the objects of slices passed to a sort or
+// slices call anywhere in the function — appends into them from a map
+// range are the deliberate collect-then-sort idiom.
+func sortedSlices(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if pkg := calleePackage(pass, call); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		if obj := identObject(pass, call.Args[0]); obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// checkMaporderBody reports the order-sensitive constructs of one
+// map-range body. Nested function literals are skipped: they usually
+// run outside the loop (deferred, spawned), and when they do run
+// inside, the enclosing assignment or call is still visible here.
+func checkMaporderBody(pass *Pass, rng *ast.RangeStmt, sorted map[types.Object]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			// A nested map range is checked on its own by
+			// checkMaporderFunc; descending into it here would
+			// report its body twice.
+			if isMapType(exprType(pass, s.X)) {
+				return false
+			}
+		case *ast.AssignStmt:
+			checkMaporderAssign(pass, rng, s, sorted)
+		case *ast.CallExpr:
+			checkMaporderCall(pass, s)
+		}
+		return true
+	})
+}
+
+func checkMaporderAssign(pass *Pass, rng *ast.RangeStmt, s *ast.AssignStmt, sorted map[types.Object]bool) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// x = append(x, ...) — order-dependent unless x is sorted later
+		// or lives entirely inside one iteration (declared in the loop
+		// body, so every visit starts it fresh).
+		for i, rhs := range s.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinCall(pass, call, "append") || i >= len(s.Lhs) {
+				continue
+			}
+			obj := identObject(pass, s.Lhs[i])
+			if obj == nil || sorted[obj] {
+				continue
+			}
+			if obj.Pos() >= rng.Body.Pos() && obj.Pos() < rng.Body.End() {
+				continue
+			}
+			pass.Reportf(s.Pos(),
+				"append to %s inside map iteration is order-dependent; collect and sort, or range over sorted keys",
+				obj.Name())
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		// Float accumulation: not associative, so the sum depends on
+		// the (random) visit order. Integer accumulation is exact.
+		if len(s.Lhs) == 1 && isFloatType(exprType(pass, s.Lhs[0])) {
+			pass.Reportf(s.Pos(),
+				"floating-point accumulation inside map iteration is order-dependent (float addition is not associative); iterate sorted keys")
+		}
+	}
+}
+
+func checkMaporderCall(pass *Pass, call *ast.CallExpr) {
+	// fmt print family: the output order becomes the map order.
+	if pkg := calleePackage(pass, call); pkg == "fmt" {
+		if fn := calleeName(pass, call); fmtPrintFuncs[fn] {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside map iteration emits output in map order; iterate sorted keys", fn)
+		}
+		return
+	}
+	// Recorder writes: the decision/span stream order becomes the map
+	// order, which the golden-replay diff will flag one recording later.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+			if recv := fn.Pkg(); recv != nil && recv.Name() == "record" {
+				pass.Reportf(call.Pos(),
+					"recorder call %s inside map iteration writes the stream in map order; iterate sorted keys", fn.Name())
+			}
+		}
+	}
+}
+
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// identObject resolves e (possibly parenthesized) to the object of a
+// plain identifier; nil for anything more complex.
+func identObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+// calleePackage returns the import-path-less package name of a pkg.F
+// call, or "" when the callee is not a package-level selector.
+func calleePackage(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+		return pkg.Imported().Name()
+	}
+	return ""
+}
+
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func isBuiltinCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, builtin := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return builtin
+}

@@ -10,4 +10,10 @@ var All = []*Analyzer{
 	Obsnilguard,
 	Veclen,
 	Lockscope,
+	Maporder,
+	Goroleak,
+	Deadlinecall,
+	Errswallow,
+	Atomicmix,
+	Hotalloc,
 }

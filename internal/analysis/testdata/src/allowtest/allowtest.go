@@ -1,0 +1,27 @@
+// Package testbed (fixture allowtest) holds a statement that violates
+// two analyzers at once — deadlinecall and errswallow both fire on a
+// bare c.Send — so the framework test can prove //prvmlint:allow
+// suppresses exactly the analyzers it names, not the whole line.
+package testbed
+
+type Msg struct{ ID uint64 }
+
+type Conn interface {
+	Send(Msg) error
+	Recv() (Msg, error)
+}
+
+// Control carries no directive: both analyzers report this line.
+func Control(c Conn) {
+	c.Send(Msg{ID: 1})
+}
+
+// AllowOne names only errswallow: deadlinecall must still report.
+func AllowOne(c Conn) {
+	c.Send(Msg{ID: 2}) //prvmlint:allow errswallow — fixture: only errswallow is named
+}
+
+// AllowBoth names both: the line goes quiet.
+func AllowBoth(c Conn) {
+	c.Send(Msg{ID: 3}) //prvmlint:allow deadlinecall,errswallow — fixture: both named
+}

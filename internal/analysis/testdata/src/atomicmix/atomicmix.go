@@ -1,0 +1,45 @@
+// Package atomicmix (fixture) exercises the atomicmix analyzer: once a
+// field is touched through sync/atomic, every access must be — a plain
+// load can observe a torn value and a plain store can be lost under a
+// concurrent atomic read-modify-write.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+}
+
+func (c *counter) hit() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) readAtomic() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) clear() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+// misses is only ever accessed plainly — no atomics, no finding.
+func (c *counter) miss() {
+	c.misses++
+}
+
+type gauge struct {
+	val uint32
+}
+
+func (g *gauge) set(v uint32) {
+	atomic.StoreUint32(&g.val, v)
+}
+
+func (g *gauge) snapshot() uint32 {
+	return g.val //prvmlint:allow atomicmix — read under the registry mutex; all writers hold it too, fixture
+}

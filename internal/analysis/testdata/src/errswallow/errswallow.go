@@ -1,0 +1,49 @@
+// Package errswallow (fixture) exercises the errswallow analyzer: a
+// call used as a bare statement discards every result, and when one of
+// them is an error the failure path is invisible — the PR 5
+// silent-job-loss shape.
+package errswallow
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func cleanup(f *os.File) {
+	f.Close() // want `call discards its error result`
+}
+
+func deferred(f *os.File) error {
+	defer f.Close() // want `deferred call discards its error result`
+	return scan(f)
+}
+
+// The explicit discard is a visible decision, not an accident.
+func explicit(f *os.File) {
+	_ = f.Close()
+}
+
+func propagated(f *os.File) error {
+	return f.Close()
+}
+
+// Writers documented never to fail are exempt: their error results
+// exist only to satisfy io interfaces.
+func prints(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("status")
+	buf.WriteString("x")
+	sb.WriteString("y")
+}
+
+func allowedClose(f *os.File) {
+	f.Close() //prvmlint:allow errswallow — read-only fd; close cannot lose data, fixture
+}
+
+// Calls with no error result are never the analyzer's business.
+func silent(sb *strings.Builder) {
+	sb.Reset()
+}
+
+func scan(*os.File) error { return nil }

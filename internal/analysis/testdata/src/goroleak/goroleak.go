@@ -1,0 +1,93 @@
+// Package goroleak (fixture) exercises the goroleak analyzer: every go
+// statement needs a lifecycle signal — a WaitGroup, a channel
+// operation, or a context — or nothing can wait for the goroutine or
+// stop it.
+package goroleak
+
+import (
+	"context"
+	"sync"
+
+	"lifecycle"
+)
+
+func bare() {
+	go func() { // want `goroutine has no WaitGroup, channel operation, or context`
+		work()
+	}()
+}
+
+func waited(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func doneChannel() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+func results() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- compute()
+	}()
+	return out
+}
+
+func cancellable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// consumer's goroutine ends when jobs is closed — ranging over a
+// channel is a lifecycle signal.
+func consumer(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			use(j)
+		}
+	}()
+}
+
+func named() {
+	go work() // want `goroutine call passes no WaitGroup, channel, or context`
+}
+
+// Named calls that hand a signal to the callee are the callee's
+// responsibility.
+func namedWithSignal(jobs chan int, wg *sync.WaitGroup) {
+	go drain(jobs)
+	go tracked(wg)
+}
+
+// Lifecycle arguments are detected by type across package boundaries.
+func crossPackage(done chan struct{}) {
+	go lifecycle.Pump(done)
+	go lifecycle.Fire() // want `goroutine call passes no WaitGroup, channel, or context`
+}
+
+func allowedForever() {
+	go work() //prvmlint:allow goroleak — process-lifetime pump, fixture
+}
+
+func work()                   {}
+func compute() int            { return 1 }
+func use(int)                 {}
+func drain(chan int)          {}
+func tracked(*sync.WaitGroup) {}

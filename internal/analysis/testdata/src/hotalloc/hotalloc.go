@@ -1,0 +1,75 @@
+// Package hotalloc (fixture) exercises the hotalloc analyzer:
+// functions annotated //prvm:hotpath must not allocate — the
+// annotation pins the same 0 allocs/op invariant the bench smoke
+// measures on the real fast path.
+package hotalloc
+
+type point struct{ x, y int }
+
+// score is the fixture's ScoreOn analogue: index math and float
+// arithmetic only — nothing to report.
+//
+//prvm:hotpath
+func score(vals, w []float64) float64 {
+	var s float64
+	for i, v := range vals {
+		s += v * w[i]
+	}
+	return s
+}
+
+//prvm:hotpath
+func collect(n int) []int {
+	out := make([]int, 0, n) // want `make in hotpath function collect allocates`
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append in hotpath function collect allocates`
+	}
+	return out
+}
+
+//prvm:hotpath
+func literals() ([]int, map[string]int, *point) {
+	s := []int{1, 2}      // want `slice literal in hotpath function literals allocates`
+	m := map[string]int{} // want `map literal in hotpath function literals allocates`
+	p := &point{x: 1}     // want `&composite literal in hotpath function literals allocates`
+	return s, m, p
+}
+
+//prvm:hotpath
+func label(name string) string {
+	return name + ":pm" // want `string concatenation in hotpath function label allocates`
+}
+
+//prvm:hotpath
+func keyBytes(k string) []byte {
+	return []byte(k) // want `string/\[\]byte conversion in hotpath function keyBytes copies`
+}
+
+//prvm:hotpath
+func closed(vals []float64) func() float64 {
+	return func() float64 { return vals[0] } // want `closure in hotpath function closed allocates`
+}
+
+//prvm:hotpath
+func boxed(v int) {
+	sink(v) // want `argument boxed into interface`
+}
+
+func sink(interface{}) {}
+
+// cold is not annotated: it may allocate freely.
+func cold(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// fill appends into caller scratch — deliberate, documented at the
+// site, amortized zero-alloc.
+//
+//prvm:hotpath
+func fill(dst, src []int32) []int32 {
+	return append(dst[:0], src...) //prvmlint:allow hotalloc — caller scratch; amortized zero-alloc, fixture
+}

@@ -1,0 +1,22 @@
+// Package lifecycle (fixture) exports lifecycle-carrying helpers for
+// the goroleak fixture: the channel, context, and WaitGroup parameters
+// cross a package boundary before the analyzer inspects the go
+// statement, so detection must work from types, not syntax.
+package lifecycle
+
+import (
+	"context"
+	"sync"
+)
+
+// Pump drains work until done closes.
+func Pump(done chan struct{}) { <-done }
+
+// Serve runs until ctx is cancelled.
+func Serve(ctx context.Context) { <-ctx.Done() }
+
+// Track signals wg when finished.
+func Track(wg *sync.WaitGroup) { wg.Done() }
+
+// Fire has no lifecycle parameter at all.
+func Fire() {}

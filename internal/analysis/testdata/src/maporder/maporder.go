@@ -1,0 +1,79 @@
+// Package maporder (fixture) exercises the maporder analyzer: Go
+// randomizes map iteration order, so order-sensitive loop bodies break
+// the one-canonical-decision-stream-per-seed contract. The fixture is
+// deliberately split across two files — the framework must collect
+// diagnostics and wants package-wide, not per file.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+
+	"record"
+)
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside map iteration is order-dependent`
+	}
+	return out
+}
+
+// sortedKeys is the canonical fix: collect, then sort. The analyzer
+// sees the sort call and stays silent.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `floating-point accumulation inside map iteration`
+	}
+	return sum
+}
+
+// count accumulates integers: exact and commutative, so visit order
+// cannot change the result.
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside map iteration emits output in map order`
+	}
+}
+
+func recordAll(r *record.Recorder, m map[string]int64) {
+	for _, seq := range m {
+		r.RecordDecision(seq) // want `recorder call RecordDecision inside map iteration writes the stream in map order`
+	}
+}
+
+func allowedSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //prvmlint:allow maporder — tolerance-checked aggregate; order immaterial
+	}
+	return sum
+}
+
+// build writes into a map: the destination has no order either.
+func build(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}

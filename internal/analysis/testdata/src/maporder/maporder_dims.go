@@ -1,0 +1,58 @@
+package maporder
+
+import "slices"
+
+// Second file of the fixture package: the bug shape the analyzer was
+// built for — per-dimension float loads accumulated while ranging over
+// a VM map (the simulator's actualCPU) — plus the slices.Sort spelling
+// of collect-then-sort.
+
+type usage struct {
+	dim   int
+	units float64
+}
+
+func loads(vms map[int][]usage, load []float64) {
+	for _, dus := range vms {
+		for _, du := range dus {
+			load[du.dim] += du.units // want `floating-point accumulation inside map iteration`
+		}
+	}
+}
+
+// Nested map ranges report each finding once — the inner range is
+// checked on its own, not re-reported per enclosing level.
+func nested(groups map[string]map[string]int) []string {
+	var out []string
+	for _, inner := range groups {
+		for k := range inner {
+			out = append(out, k) // want `append to out inside map iteration is order-dependent`
+		}
+	}
+	return out
+}
+
+// A slice declared inside the loop body starts fresh every visit —
+// its element order never observes the map order.
+func perKey(m map[string][]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, vs := range m {
+		var evens []int
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		out[k] = len(evens)
+	}
+	return out
+}
+
+func ids(vms map[int][]usage) []int {
+	out := make([]int, 0, len(vms))
+	for id := range vms {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}

@@ -1,0 +1,62 @@
+// Package testbed (fixture) exercises the deadlinecall analyzer:
+// blocking Send/Recv on the control protocol must sit on a path that
+// arms a deadline, the controller's roundTrip shape, or a dropped
+// message hangs the caller forever.
+package testbed
+
+import "time"
+
+type Msg struct{ ID uint64 }
+
+type Conn interface {
+	Send(Msg) error
+	Recv() (Msg, error)
+	Close() error
+}
+
+type deadlineSetter interface {
+	SetDeadline(time.Time) error
+}
+
+// roundTrip arms the deadline before blocking — the sanctioned shape.
+func roundTrip(c Conn, deadline time.Time) (Msg, error) {
+	if d, ok := c.(deadlineSetter); ok {
+		_ = d.SetDeadline(deadline)
+	}
+	if err := c.Send(Msg{ID: 1}); err != nil {
+		return Msg{}, err
+	}
+	return c.Recv()
+}
+
+// fireAndForget blocks forever if the peer is gone.
+func fireAndForget(c Conn) {
+	_ = c.Send(Msg{ID: 2}) // want `c\.Send\(\) blocks with no deadline armed`
+}
+
+func collectReply(c Conn) (Msg, error) {
+	return c.Recv() // want `c\.Recv\(\) blocks with no deadline armed`
+}
+
+// wireConn is a transport wrapper: it exposes SetDeadline itself, so
+// its forwarding methods run under whatever deadline the caller armed
+// — the analyzer skips the whole method set.
+type wireConn struct {
+	inner Conn
+	arm   func(time.Time) error
+}
+
+func (w *wireConn) SetDeadline(t time.Time) error { return w.arm(t) }
+func (w *wireConn) Send(m Msg) error              { return w.inner.Send(m) }
+func (w *wireConn) Recv() (Msg, error)            { return w.inner.Recv() }
+func (w *wireConn) Close() error                  { return w.inner.Close() }
+
+// agentLoop deliberately blocks for the next command; conn Close is
+// what unblocks it. The directive records that decision.
+func agentLoop(c Conn) {
+	for {
+		if _, err := c.Recv(); err != nil { //prvmlint:allow deadlinecall — blocks for next command; conn Close unblocks
+			return
+		}
+	}
+}

@@ -10,6 +10,7 @@ package network
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"pagerankvm/internal/opt"
 	"pagerankvm/internal/placement"
@@ -97,8 +98,21 @@ func (tr *Traffic) Peers(vm int) map[int]float64 {
 // cluster's current assignment — the bandwidth-efficiency metric of
 // the extension. Flows involving unplaced VMs are skipped.
 func CrossRack(c *placement.Cluster, topo *Topology, tr *Traffic) float64 {
+	// Sum in sorted pair order: float addition is not associative, so
+	// a map-order sum would differ bit-for-bit between runs.
+	pairs := make([][2]int, 0, len(tr.flows))
+	for pair := range tr.flows {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
 	total := 0.0
-	for pair, rate := range tr.flows {
+	for _, pair := range pairs {
+		rate := tr.flows[pair]
 		pmA, okA := c.Locate(pair[0])
 		pmB, okB := c.Locate(pair[1])
 		if !okA || !okB {
@@ -149,11 +163,20 @@ func (p *Placer) Place(c *placement.Cluster, vm *placement.VM, exclude *placemen
 	}
 
 	// Racks where this VM's peers already run, weighted by rate.
+	// Accumulate per-rack sums in sorted peer order: rackTraffic feeds
+	// the gain comparisons below, so a map-order float sum would let
+	// the chosen PM differ between runs of the same seed.
+	peers := p.Traffic.Peers(vm.ID)
+	peerIDs := make([]int, 0, len(peers))
+	for peer := range peers {
+		peerIDs = append(peerIDs, peer)
+	}
+	sort.Ints(peerIDs)
 	rackTraffic := make(map[int]float64)
-	for peer, rate := range p.Traffic.Peers(vm.ID) {
+	for _, peer := range peerIDs {
 		if pm, placed := c.Locate(peer); placed {
 			if rack, ok := p.Topo.Rack(pm.ID); ok {
-				rackTraffic[rack] += rate
+				rackTraffic[rack] += peers[peer]
 			}
 		}
 	}

@@ -55,15 +55,24 @@ func Handler(o *Observer, sink *RingSink) http.Handler {
 }
 
 // Serve starts the telemetry endpoint on addr (":0" picks an ephemeral
-// port) in a background goroutine and returns the bound address. The
-// listener lives for the remaining process lifetime — the commands
-// using it exit when their run ends.
-func Serve(addr string, o *Observer, sink *RingSink) (string, error) {
+// port) in a background goroutine and returns the bound address plus a
+// stop function that closes the listener and all active connections,
+// then waits for the serve goroutine to exit. Callers that want the
+// endpoint for the remaining process lifetime simply never call stop.
+func Serve(addr string, o *Observer, sink *RingSink) (string, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: Handler(o, sink)}
-	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	stop := func() {
+		_ = srv.Close()
+		<-done
+	}
+	return ln.Addr().String(), stop, nil
 }

@@ -259,8 +259,17 @@ func writeSnapshotFile(path string, s Snapshot) error {
 	if err != nil {
 		return fmt.Errorf("obs: %w", err)
 	}
-	defer f.Close()
-	return encodeSnapshot(f, s)
+	if err := encodeSnapshot(f, s); err != nil {
+		_ = f.Close()
+		return err
+	}
+	// On a write path the close error is the write error: buffered
+	// bytes flush here, so dropping it could report a truncated
+	// snapshot as success.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
 }
 
 // Names returns the sorted instrument names of every kind, mainly for

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestNilObserverIsSafe(t *testing.T) {
@@ -238,7 +240,7 @@ func TestHandlerEndpoints(t *testing.T) {
 func TestServeEphemeral(t *testing.T) {
 	o := New()
 	o.Counter("x").Inc()
-	addr, err := Serve("127.0.0.1:0", o, nil)
+	addr, stop, err := Serve("127.0.0.1:0", o, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,4 +252,12 @@ func TestServeEphemeral(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %s", resp.Status)
 	}
+
+	// stop must close the listener (new connections refused) and join
+	// the serve goroutine — the endpoint is no longer a leak.
+	stop()
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Fatal("listener still accepting after stop")
+	}
+	stop() // idempotent: a second stop must not hang or panic
 }

@@ -27,7 +27,7 @@ func Open(path string) (*Reader, error) {
 	}
 	r, err := NewReader(f)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // cleanup on the error path; the open error is the story
 		return nil, err
 	}
 	r.closers = append(r.closers, f)
@@ -154,8 +154,11 @@ func ReadAll(path string) (Header, []Decision, []Span, error) {
 	if err != nil {
 		return Header{}, nil, nil, err
 	}
-	defer r.Close()
-	return drain(r)
+	h, decs, spans, err := drain(r)
+	if cerr := r.Close(); err == nil && cerr != nil {
+		err = cerr // a close failure can mean a truncated gzip stream
+	}
+	return h, decs, spans, err
 }
 
 // ReadAllFrom is ReadAll over an arbitrary stream.
@@ -164,8 +167,11 @@ func ReadAllFrom(src io.Reader) (Header, []Decision, []Span, error) {
 	if err != nil {
 		return Header{}, nil, nil, err
 	}
-	defer r.Close()
-	return drain(r)
+	h, decs, spans, err := drain(r)
+	if cerr := r.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return h, decs, spans, err
 }
 
 func drain(r *Reader) (Header, []Decision, []Span, error) {

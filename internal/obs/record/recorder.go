@@ -80,7 +80,7 @@ func Create(path string, meta RunMeta) (*Recorder, error) {
 	}
 	r, err := NewWriter(w, meta)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // cleanup on the error path; the header error is the story
 		return nil, err
 	}
 	r.gz = gz

@@ -95,6 +95,8 @@ func Ranks(succ [][]int32, opts Options) (Result, error) {
 // distribute loop streams two flat arenas and the auxiliary
 // accumulator comes from a scratch pool, so steady-state runs allocate
 // only the returned rank vector (plus residual diagnostics).
+//
+//prvm:hotpath
 func RanksCSR(g CSR, opts Options) (Result, error) {
 	o := opts.withDefaults()
 	n := g.Len()
@@ -108,6 +110,7 @@ func RanksCSR(g CSR, opts Options) (Result, error) {
 		return Result{}, errors.New("pagerank: epsilon must be positive")
 	}
 
+	//prvmlint:allow hotalloc — the returned rank vector; the one allocation the doc promises
 	pr := make([]float64, n)
 	aux := grabF64(n)
 	defer releaseF64(aux)
@@ -116,6 +119,7 @@ func RanksCSR(g CSR, opts Options) (Result, error) {
 	}
 	offsets, edges := g.Offsets, g.Edges
 
+	//prvmlint:allow hotalloc — residual diagnostics travel with the result
 	res := Result{Residuals: make([]float64, 0, initialResidualCap)}
 	for iter := 1; iter <= o.maxIter; iter++ {
 		// Lines 7-12: distribute each node's rank to its successors.
@@ -148,6 +152,7 @@ func RanksCSR(g CSR, opts Options) (Result, error) {
 			aux[i] = 0
 		}
 		res.Iterations = iter
+		//prvmlint:allow hotalloc — one float per iteration, capacity preallocated above
 		res.Residuals = append(res.Residuals, maxDelta)
 		if maxDelta < o.epsilon {
 			res.Converged = true

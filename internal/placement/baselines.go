@@ -53,11 +53,13 @@ func (FFDSum) OrderVMs(vms []*VM) {
 		if len(v.Req) == 0 {
 			return 0
 		}
-		total := 0.0
+		// Sum in integers: exact and commutative, so the map iteration
+		// order of Req cannot perturb the FFD sort key.
+		total := 0
 		for _, d := range v.Req {
-			total += float64(d.TotalUnits())
+			total += d.TotalUnits()
 		}
-		return total / float64(len(v.Req))
+		return float64(total) / float64(len(v.Req))
 	}
 	sort.SliceStable(vms, func(i, j int) bool {
 		si, sj := size(vms[i]), size(vms[j])

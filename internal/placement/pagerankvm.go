@@ -475,6 +475,8 @@ func (p *PageRankVM) resolveBinding(pmType string, vm *VM) (binding, error) {
 // pmNodeIDs resolves pm's used profile to fr's lattice node ids,
 // serving repeats from the cache on the PM (invalidated whenever the
 // profile mutates — see PM.gen).
+//
+//prvm:hotpath
 func pmNodeIDs(pm *PM, fr ranktable.FastRanker) ([]int32, bool) {
 	if pm.rankOwner == fr && pm.rankGen == pm.gen {
 		return pm.rankIDs, pm.rankOK
@@ -494,6 +496,8 @@ func pmNodeIDs(pm *PM, fr ranktable.FastRanker) ([]int32, bool) {
 // both paths break score ties identically — and string-key scores
 // each result. The returned slow-path assignment is therefore in
 // canonical coordinates; callers translate with alignAssign.
+//
+//prvm:hotpath
 func (p *PageRankVM) scoreCandidate(b binding, pm *PM) (float64, resource.Assignment, int, bool) {
 	if b.fast {
 		if ids, ok := pmNodeIDs(pm, b.fr); ok {
@@ -593,6 +597,10 @@ func alignAssign(shape *resource.Shape, used resource.Vec, canon resource.Assign
 // ScoreOn returns the best accommodation score of vm on pm — one
 // candidate evaluation of Algorithm 2's inner loop, exposed for
 // benchmarking the id-indexed fast path against the enumeration path.
+// On the fast path it runs in ~25ns with zero allocations — the
+// alloc_gate test and the hotalloc analyzer both hold it there.
+//
+//prvm:hotpath
 func (p *PageRankVM) ScoreOn(pm *PM, vm *VM) (float64, bool) {
 	b, err := p.binding(pm.Type, vm)
 	if err != nil || !b.hasDemand {

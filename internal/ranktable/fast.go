@@ -66,6 +66,8 @@ func (t *Table) Fast() bool {
 }
 
 // NodeIDs resolves p to its single lattice node id.
+//
+//prvm:hotpath
 func (t *Table) NodeIDs(p resource.Vec, dst []int32) ([]int32, bool) {
 	if t.space == nil || len(p) != t.shape.NumDims() {
 		return nil, false
@@ -74,6 +76,7 @@ func (t *Table) NodeIDs(p resource.Vec, dst []int32) ([]int32, bool) {
 	if id < 0 {
 		return nil, false
 	}
+	//prvmlint:allow hotalloc — appends into the caller's reused buffer; steady state never grows it
 	return append(dst[:0], int32(id)), true
 }
 
@@ -91,6 +94,8 @@ func (t *Table) ResolveType(vt resource.VMType) (TypeRef, bool) {
 }
 
 // BestMove reads the precomputed argmax for (node, type).
+//
+//prvm:hotpath
 func (t *Table) BestMove(ids []int32, ref TypeRef) (float64, int, bool) {
 	m := t.best[int(ids[0])*t.space.NumTypes()+int(ref.id)]
 	if m.arg < 0 {
@@ -109,6 +114,8 @@ func (t *Table) Materialize(ids []int32, ref TypeRef) (resource.Assignment, bool
 }
 
 // ScoreIDs returns the score of node ids[0].
+//
+//prvm:hotpath
 func (t *Table) ScoreIDs(ids []int32) (float64, bool) {
 	if t.ids == nil || len(ids) != 1 || int(ids[0]) >= len(t.ids) {
 		return 0, false
@@ -121,6 +128,8 @@ func (f *Factored) Fast() bool { return f.fast }
 
 // NodeIDs resolves p to one node id per resource group (the factored
 // profile coordinates).
+//
+//prvm:hotpath
 func (f *Factored) NodeIDs(p resource.Vec, dst []int32) ([]int32, bool) {
 	if !f.fast || len(p) != f.shape.NumDims() {
 		return nil, false
@@ -131,6 +140,7 @@ func (f *Factored) NodeIDs(p resource.Vec, dst []int32) ([]int32, bool) {
 		if id < 0 {
 			return nil, false
 		}
+		//prvmlint:allow hotalloc — appends into the caller's reused buffer; steady state never grows it
 		dst = append(dst, int32(id))
 	}
 	return dst, true
@@ -157,6 +167,8 @@ func (f *Factored) ResolveType(vt resource.VMType) (TypeRef, bool) {
 // joint maximum factors into per-group maxima (float multiplication is
 // monotone on non-negative operands, so this holds bitwise, not just
 // in real arithmetic).
+//
+//prvm:hotpath
 func (f *Factored) BestMove(ids []int32, ref TypeRef) (float64, int, bool) {
 	ti := int(ref.id)
 	gtid := f.gtid[ti]
@@ -206,6 +218,8 @@ func (f *Factored) Materialize(ids []int32, ref TypeRef) (resource.Assignment, b
 
 // ScoreIDs multiplies the per-group scores in ascending group order
 // (bitwise identical to Score on the corresponding joint profile).
+//
+//prvm:hotpath
 func (f *Factored) ScoreIDs(ids []int32) (float64, bool) {
 	if !f.fast || len(ids) != len(f.groups) {
 		return 0, false

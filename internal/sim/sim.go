@@ -484,10 +484,19 @@ func (s *Simulation) actualCPU(pm *placement.PM, step int) []float64 {
 		return nil
 	}
 	lo, hi := pm.Shape.GroupRange(gi)
+	// Accumulate in sorted VM order: float addition is not associative,
+	// so summing in map order would make the load (and every threshold
+	// decision downstream) differ bit-for-bit between runs of one seed.
+	vms := pm.VMs()
+	ids := make([]int, 0, len(vms))
+	for id := range vms {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	load := make([]float64, hi-lo)
-	for id, h := range pm.VMs() {
+	for _, id := range ids {
 		u := s.loads[id].At(step)
-		for _, du := range h.Assign {
+		for _, du := range vms[id].Assign {
 			if du.Dim >= lo && du.Dim < hi {
 				load[du.Dim-lo] += float64(du.Units) * u
 			}

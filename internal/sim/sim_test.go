@@ -286,3 +286,40 @@ func TestPageRankVMSimulationDeterministic(t *testing.T) {
 		t.Fatalf("non-deterministic results:\n%+v\n%+v", a, b)
 	}
 }
+
+// actualCPU drives the SLO, overload and consolidation thresholds; a
+// map-order sum over hosted VMs would make the load differ bit-for-bit
+// between identical runs, because float addition is not associative.
+func TestActualCPUDeterministic(t *testing.T) {
+	c := newCluster(1)
+	pm := c.PMs()[0]
+	// Four VMs sharing CPU dims with trace levels whose sum depends on
+	// addition order (0.1+0.2+0.3 != 0.3+0.2+0.1 bit-for-bit).
+	levels := []float64{0.1, 0.2, 0.3, 0.7}
+	workloads := make([]Workload, len(levels))
+	for i, level := range levels {
+		workloads[i] = Workload{VM: newVM(i, "[1,1]"), Trace: trace.Constant{Level: level}.Series(i, 4)}
+	}
+	s, err := New(shortCfg(4), c, placement.FirstFit{}, placement.MMTEvictor{}, models(), workloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workloads {
+		assign := resource.Assignment{{Dim: 0, Units: 1}, {Dim: 1, Units: 1}}
+		if err := c.Host(pm, w.VM, assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := s.actualCPU(pm, 0)
+	if len(first) != 4 {
+		t.Fatalf("load = %v, want 4 dims", first)
+	}
+	for n := 0; n < 64; n++ {
+		got := s.actualCPU(pm, 0)
+		for d := range first {
+			if got[d] != first[d] {
+				t.Fatalf("call %d: load[%d] = %v, first call had %v", n, d, got[d], first[d])
+			}
+		}
+	}
+}

@@ -51,7 +51,7 @@ func (a *Agent) Wait() { <-a.done }
 
 func (a *Agent) loop() {
 	for {
-		msg, err := a.conn.Recv()
+		msg, err := a.conn.Recv() //prvmlint:allow deadlinecall — blocks for the next command by design; controller Shutdown or conn Close unblocks it
 		if err != nil {
 			return
 		}
@@ -100,7 +100,7 @@ func (a *Agent) reply(req Message, m Message) {
 func (a *Agent) send(m Message) {
 	// A failed reply means the controller is gone; the next Recv will
 	// fail and end the loop.
-	_ = a.conn.Send(m)
+	_ = a.conn.Send(m) //prvmlint:allow deadlinecall — reply on the controller-owned conn; the controller's per-call deadline bounds it
 }
 
 // start validates the assignment against local state — capacity and
@@ -163,14 +163,20 @@ func (a *Agent) used() resource.Vec {
 func (a *Agent) status(step int) *Status {
 	load := make([]float64, a.shape.NumDims())
 	ids := make([]int, 0, len(a.jobs))
-	for id, job := range a.jobs {
+	for id := range a.jobs {
 		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	// Accumulate in sorted job order: float addition is not
+	// associative, so map-order sums would report a load that differs
+	// bit-for-bit between identical runs.
+	for _, id := range ids {
+		job := a.jobs[id]
 		u := traceAt(job.Trace, step)
 		for _, du := range job.Assign {
 			load[du.Dim] += float64(du.Units) * u
 		}
 	}
-	sort.Ints(ids)
 	return &Status{AgentID: a.id, Step: step, Load: load, Jobs: ids}
 }
 

@@ -152,3 +152,34 @@ func TestAgentRejectionLeavesStateClean(t *testing.T) {
 		t.Fatalf("rejected job leaked load: %v", status.Status.Load)
 	}
 }
+
+// Status.Load feeds the controller's overload decisions; a map-order
+// sum over jobs would make it differ bit-for-bit between identical
+// ticks, because float addition is not associative.
+func TestAgentStatusLoadDeterministic(t *testing.T) {
+	ctrl := startAgent(t)
+	// Four jobs on one dimension with trace levels whose sum depends
+	// on addition order (0.1+0.2+0.3 != 0.3+0.2+0.1 bit-for-bit).
+	for i, level := range []float64{0.1, 0.2, 0.3, 0.7} {
+		reply := call(t, ctrl, Message{Kind: KindStart, Job: &JobSpec{
+			ID:     i + 1,
+			Assign: []resource.DimUnits{{Dim: 0, Units: 1}},
+			Trace:  []float64{level},
+		}})
+		if reply.Kind != KindOK {
+			t.Fatalf("start job %d: %v %s", i+1, reply.Kind, reply.Err)
+		}
+	}
+	first := call(t, ctrl, Message{Kind: KindTick, Step: 0})
+	if first.Kind != KindStatus {
+		t.Fatalf("tick reply %v", first.Kind)
+	}
+	for n := 0; n < 50; n++ {
+		status := call(t, ctrl, Message{Kind: KindTick, Step: 0})
+		for d, got := range status.Status.Load {
+			if got != first.Status.Load[d] {
+				t.Fatalf("tick %d: load[%d] = %v, first tick had %v", n, d, got, first.Status.Load[d])
+			}
+		}
+	}
+}

@@ -171,7 +171,9 @@ func DialTCPPair() (controller, agent Conn, err error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("testbed: listen: %w", err)
 	}
-	defer ln.Close()
+	// Once both ends exist the listener is just scaffolding; its close
+	// error cannot affect the established conns.
+	defer func() { _ = ln.Close() }()
 
 	type result struct {
 		conn net.Conn
@@ -185,16 +187,18 @@ func DialTCPPair() (controller, agent Conn, err error) {
 	dialed, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
 		// Unblock the pending Accept, then drain it: a half-open
-		// accepted conn would otherwise leak with the goroutine.
-		ln.Close()
+		// accepted conn would otherwise leak with the goroutine. The
+		// dial error is the story; the cleanup errors are discarded
+		// deliberately.
+		_ = ln.Close()
 		if res := <-accepted; res.conn != nil {
-			res.conn.Close()
+			_ = res.conn.Close()
 		}
 		return nil, nil, fmt.Errorf("testbed: dial: %w", err)
 	}
 	res := <-accepted
 	if res.err != nil {
-		dialed.Close()
+		_ = dialed.Close()
 		return nil, nil, fmt.Errorf("testbed: accept: %w", res.err)
 	}
 	return NewGobConn(dialed), NewGobConn(res.conn), nil

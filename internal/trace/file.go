@@ -40,7 +40,12 @@ func LoadDir(fsys fs.FS) (*FileSet, error) {
 			return nil, fmt.Errorf("trace: open %s: %w", e.Name(), err)
 		}
 		s, err := ParseSeries(f)
-		f.Close()
+		if cerr := f.Close(); err == nil && cerr != nil {
+			// A failed close can mean a truncated read on some
+			// filesystems; a silently short trace would skew every
+			// simulation built on it.
+			err = cerr
+		}
 		if err != nil {
 			return nil, fmt.Errorf("trace: %s: %w", e.Name(), err)
 		}

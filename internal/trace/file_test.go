@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"errors"
+	"io/fs"
 	"strings"
 	"testing"
 	"testing/fstest"
@@ -72,5 +74,34 @@ func TestLoadDirErrors(t *testing.T) {
 	bad := fstest.MapFS{"x": {Data: []byte("oops\n")}}
 	if _, err := LoadDir(bad); err == nil {
 		t.Fatal("accepted bad file")
+	}
+}
+
+// closeFailFS wraps a filesystem so every opened file fails on Close,
+// the way a network filesystem surfaces a truncated read only at close
+// time. LoadDir must propagate that error, not swallow it.
+type closeFailFS struct{ fs.FS }
+
+func (c closeFailFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	return fs.ReadDir(c.FS, name)
+}
+
+func (c closeFailFS) Open(name string) (fs.File, error) {
+	f, err := c.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return closeFailFile{f}, nil
+}
+
+type closeFailFile struct{ fs.File }
+
+func (closeFailFile) Close() error { return errors.New("close failed") }
+
+func TestLoadDirPropagatesCloseError(t *testing.T) {
+	fsys := closeFailFS{fstest.MapFS{"vm_a": {Data: []byte("50\n")}}}
+	_, err := LoadDir(fsys)
+	if err == nil || !strings.Contains(err.Error(), "close failed") {
+		t.Fatalf("LoadDir error = %v, want the close failure surfaced", err)
 	}
 }
