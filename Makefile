@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet lint lint-self lint-baseline build test race chaos bench bench-all golden fmt
+.PHONY: check vet lint lint-self lint-baseline build test race chaos bench bench-compare bench-all golden fmt
 
 # The full pre-merge gate: static analysis (go vet plus the project's
 # own prvm-lint analyzers), a clean build, and the test suite under the
@@ -46,11 +46,20 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/testbed/
 
 # Hot-path benchmark harness: runs the PlaceLookup / SpaceWire /
-# RanksCSR / RecordOverhead micro-benchmarks, plus a record/replay
-# macro-benchmark (throughput and per-phase latency percentiles), and
-# writes the comparisons to BENCH_pr6.json (see README "Benchmarks").
+# RanksCSR / RecordOverhead / TableCache micro-benchmarks, plus a
+# record/replay macro-benchmark (throughput and per-phase latency
+# percentiles), and writes the comparisons to BENCH_pr8.json (see
+# README "Benchmarks").
 bench:
-	$(GO) run ./cmd/prvm-bench -out BENCH_pr6.json
+	$(GO) run ./cmd/prvm-bench -out BENCH_pr8.json
+
+# Bench-regression gate: re-run the micro-benchmarks briefly and diff
+# against the recorded baseline. Allocs/op must never regress; ns/op
+# gets a loose tolerance because the baseline was recorded on different
+# hardware than CI runners (see cmd/prvm-bench doc comment).
+bench-compare:
+	$(GO) run ./cmd/prvm-bench -out /tmp/bench_compare.json -benchtime 0.2s \
+		-replay-vms 40 -compare BENCH_pr8.json -tolerance 1.0
 
 # Golden replay regression (DESIGN.md §11): the checked-in recording
 # under examples/ must replay bit-identically through the current code.

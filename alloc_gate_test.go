@@ -14,6 +14,7 @@ import (
 	"pagerankvm/internal/experiments"
 	"pagerankvm/internal/placement"
 	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
 )
 
 func TestScoreOnZeroAllocs(t *testing.T) {
@@ -57,5 +58,43 @@ func TestScoreOnZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("ScoreOn fast path allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestCacheHitZeroAllocs holds the table-cache hit path allocation-free:
+// the key is assembled in a stack buffer, the probe goes through the
+// compiler's map[string(bytes)] optimization, and waiting on the
+// completed build is a receive from an already-closed channel.
+func TestCacheHitZeroAllocs(t *testing.T) {
+	cat, err := experiments.AmazonCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := ranktable.NewCache(0, nil)
+	opts := ranktable.Options{Cache: cache}
+	// Warm the cache with the production heterogeneous fleet: every
+	// factored key and every per-group joint key lands in the cache.
+	if _, err := cat.BuildRegistry(opts); err != nil {
+		t.Fatal(err)
+	}
+	pm := cat.PMs[0]
+	shape, ok := cat.Shape(pm.Name)
+	if !ok {
+		t.Fatalf("no shape for %s", pm.Name)
+	}
+	var types []resource.VMType
+	for _, vm := range cat.VMs {
+		d, ok := cat.Demand(pm.Name, vm.Name)
+		if ok && d.Validate(shape) == nil {
+			types = append(types, d)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := ranktable.NewFactored(shape, types, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit table lookup allocates %.1f times per op, want 0", allocs)
 	}
 }

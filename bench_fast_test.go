@@ -155,6 +155,43 @@ func BenchmarkSpaceWire(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) { run(b, 0) })
 }
 
+// BenchmarkTableCache prices the shape-keyed table cache: "hit" is the
+// steady-state lookup of an already-built table (key assembly in a
+// stack buffer + map probe + closed-channel receive; must be
+// zero-alloc, see alloc_gate_test.go), "miss" is a cold build through
+// the cache on a small lattice — the cost a heterogeneous fleet pays
+// once per distinct (shape, VM types, options) key.
+func BenchmarkTableCache(b *testing.B) {
+	shape := resource.MustShape(resource.Group{Name: "cpu", Dims: 4, Cap: 4})
+	types := []resource.VMType{
+		resource.NewVMType("[1,1]", resource.Demand{Group: "cpu", Units: []int{1, 1}}),
+		resource.NewVMType("[2]", resource.Demand{Group: "cpu", Units: []int{2}}),
+	}
+	b.Run("hit", func(b *testing.B) {
+		c := ranktable.NewCache(0, nil)
+		opts := ranktable.Options{Cache: c}
+		if _, err := ranktable.NewJoint(shape, types, opts); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ranktable.NewJoint(shape, types, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := ranktable.Options{Cache: ranktable.NewCache(0, nil)}
+			if _, err := ranktable.NewJoint(shape, types, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkRanksCSR compares the PageRank iteration over a prebuilt
 // CSR graph with the per-node-slice entry point (which must flatten
 // per call) on the paper's example lattice scaled up.

@@ -1,17 +1,25 @@
 // Command prvm-bench runs the repo's hot-path micro-benchmarks and
-// writes a machine-readable summary to a JSON file (BENCH_pr6.json by
+// writes a machine-readable summary to a JSON file (BENCH_pr8.json by
 // default). It shells out to `go test -bench`, parses the standard
 // benchmark output, and pairs up before/after variants — fast vs
-// legacy, csr vs slices, parallel vs serial, recording off vs on —
-// into explicit speedup comparisons so a reviewer (or CI) can assert
-// on the ratios. It then records and replays one small seeded
-// simulation in-process, folding replay throughput and per-phase
-// latency percentiles into the report (DESIGN.md §11).
+// legacy, csr vs slices, parallel vs serial, recording off vs on,
+// cache miss vs hit — into explicit speedup comparisons so a reviewer
+// (or CI) can assert on the ratios. It then records and replays one
+// small seeded simulation in-process, folding replay throughput and
+// per-phase latency percentiles into the report (DESIGN.md §11).
+//
+// With -compare the run is additionally diffed against a recorded
+// baseline report: any benchmark present in both reports fails the run
+// when its ns/op regresses past -tolerance (default 15%) or its
+// allocs/op increases at all. ns/op is machine- and load-dependent —
+// comparing across different hardware needs a loose tolerance — while
+// allocs/op is deterministic and compares exactly anywhere.
 //
 // Usage:
 //
 //	prvm-bench [-bench regex] [-pkg ./...] [-benchtime 1s] [-count 1]
-//	           [-out BENCH_pr6.json] [-replay-vms n]
+//	           [-out BENCH_pr8.json] [-replay-vms n]
+//	           [-compare BENCH_prN.json] [-tolerance 0.15]
 package main
 
 import (
@@ -99,17 +107,22 @@ var variantPairs = [][2]string{
 	// Recording off vs on: the "speedup" is below 1 by design — it
 	// prices what enabling decision recording costs a full Place call.
 	{"off", "on"},
+	// Cache miss vs hit: the ratio is the per-lookup win of reusing a
+	// built table instead of rebuilding it.
+	{"miss", "hit"},
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("prvm-bench", flag.ContinueOnError)
 	var (
-		benchRe   = fs.String("bench", "BenchmarkPlaceLookup|BenchmarkSpaceWire|BenchmarkRanksCSR|BenchmarkRecordOverhead", "benchmark regex passed to go test -bench")
+		benchRe   = fs.String("bench", "BenchmarkPlaceLookup|BenchmarkSpaceWire|BenchmarkRanksCSR|BenchmarkRecordOverhead|BenchmarkTableCache", "benchmark regex passed to go test -bench")
 		pkg       = fs.String("pkg", ".", "package pattern to benchmark")
 		benchtime = fs.String("benchtime", "", "go test -benchtime value (empty = default)")
 		count     = fs.Int("count", 1, "go test -count value")
-		out       = fs.String("out", "BENCH_pr6.json", "output JSON file")
+		out       = fs.String("out", "BENCH_pr8.json", "output JSON file")
 		replayVMs = fs.Int("replay-vms", 120, "VM count of the record/replay macro-benchmark (0 disables it)")
+		baseline  = fs.String("compare", "", "baseline BENCH_prN.json to gate against (empty = no gate)")
+		tolerance = fs.Float64("tolerance", 0.15, "allowed fractional ns/op regression vs -compare baseline")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -181,6 +194,58 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "  replay: %d decisions at %.0f decisions/s (record %.2fs, replay %.2fs)\n",
 			rep.Replay.Decisions, rep.Replay.DecisionsPerSec, rep.Replay.RecordSeconds, rep.Replay.ReplaySeconds)
 	}
+	if *baseline != "" {
+		if err := compareBaseline(*baseline, rep, *tolerance); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compareBaseline gates the current run against a recorded report:
+// every benchmark present in both fails the run when its ns/op
+// regresses by more than tol (fractional) or its allocs/op increases
+// at all. Benchmarks present only on one side are reported but never
+// fail — the gate must not break when benchmarks are added or retired.
+func compareBaseline(path string, cur report, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("compare: parse %s: %w", path, err)
+	}
+	baseBy := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	var fails []string
+	compared := 0
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "  compare: %s: new benchmark, no baseline\n", r.Name)
+			continue
+		}
+		compared++
+		if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+tol) {
+			fails = append(fails, fmt.Sprintf("%s: %.4g ns/op vs baseline %.4g (+%.0f%%, tolerance %.0f%%)",
+				r.Name, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), 100*tol))
+		}
+		if b.AllocsPer != nil && r.AllocsPer != nil && *r.AllocsPer > *b.AllocsPer {
+			fails = append(fails, fmt.Sprintf("%s: %.1f allocs/op vs baseline %.1f — any allocation regression fails",
+				r.Name, *r.AllocsPer, *b.AllocsPer))
+		}
+	}
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "  REGRESSION:", f)
+		}
+		return fmt.Errorf("compare: %d regression(s) vs %s", len(fails), path)
+	}
+	fmt.Fprintf(os.Stderr, "prvm-bench: compare OK — %d benchmarks within %.0f%% of %s, no alloc regressions\n",
+		compared, 100*tol, path)
 	return nil
 }
 

@@ -240,7 +240,17 @@ func (c *Catalog) BuildCluster(countPerType int) *placement.Cluster {
 // BuildRegistry builds one factored ranker per PM type. The factored
 // ranker is the scalable default; the joint lattice of Table II hosts
 // has ~10^6 canonical profiles (see DESIGN.md).
+//
+// Unless the caller supplies opts.Cache, the builds share a
+// registry-local cache: PM types with overlapping group geometry and
+// identical projected demands (Table II's M3 and C3 share the cpu and
+// disk groups) then build each distinct per-group sub-table exactly
+// once. Cached builds are bitwise-identical to uncached ones (see
+// ranktable.Cache), so placement decisions are unaffected.
 func (c *Catalog) BuildRegistry(opts ranktable.Options) (*ranktable.Registry, error) {
+	if opts.Cache == nil {
+		opts.Cache = ranktable.NewCache(0, opts.Obs)
+	}
 	reg := ranktable.NewRegistry()
 	for _, pm := range c.PMs {
 		var types []resource.VMType

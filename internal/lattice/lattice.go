@@ -15,12 +15,20 @@
 // anti-collocation assignment per edge. The labeled lists are what
 // turn Algorithm 2's candidate scoring into an O(1) table lookup (see
 // internal/ranktable and DESIGN.md "Indexing & concurrency model").
+//
+// Construction is arena-backed (DESIGN.md §13): node profiles live in
+// one flat int arena, node ids are computed arithmetically from the
+// per-group ranking tables in rank.go (no string keys, no index map),
+// and the wire phase enumerates placements in place with pooled
+// scratch — per-build allocations are a handful of exact-size arenas
+// instead of one per node/edge/placement.
 package lattice
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"pagerankvm/internal/resource"
 )
@@ -29,12 +37,14 @@ import (
 // type set. It is immutable after New and safe for concurrent readers.
 type Space struct {
 	shape *resource.Shape
-	nodes []resource.Vec // canonical profiles, lexicographic order
-	index map[string]int // canonical key -> node id
+	rank  shapeRank
+	dims  int
+	n     int
+	vals  []int // node arena: profile i is vals[i*dims : (i+1)*dims]
 
 	// Union successor graph in CSR form: the successors of node i are
 	// succ[succOff[i]:succOff[i+1]], deduped across VM types.
-	succOff []int32 // len(nodes)+1
+	succOff []int32 // n+1
 	succ    []int32 // edge arena
 
 	// Per-VM-type labeled successors: for node i and active type t the
@@ -44,9 +54,13 @@ type Space struct {
 	// nil when the lattice is too large (see maxTypedEntries).
 	types   []resource.VMType // active types, in wiring order
 	typeIdx map[string]int    // type name -> index into types
-	tOff    []int32           // len(nodes)*len(types)+1
+	tOff    []int32           // n*len(types)+1
 	tSucc   []int32
 	tAssign []resource.Assignment
+	// assignUnits is the flat backing arena every tAssign slice points
+	// into: edge assignments of one type all have the same length, so
+	// the headers are reconstructed with fixed per-type strides.
+	assignUnits []resource.DimUnits
 }
 
 // MaxNodes bounds the lattice size New is willing to enumerate. The
@@ -62,12 +76,19 @@ const MaxNodes = 4 << 20
 // string-key scoring path.
 const maxTypedEntries = 8 << 20
 
+// chunksPerWorker oversubscribes the wire phase: low-usage nodes have
+// far more feasible placements than nearly-full ones, so equal node
+// ranges are unequal work. Several chunks per worker let fast workers
+// steal the tail instead of idling behind the heaviest range.
+const chunksPerWorker = 8
+
 // Options tunes lattice construction.
 type Options struct {
 	// Workers caps the number of goroutines wiring successor edges.
 	// Zero selects GOMAXPROCS. The output is deterministic for any
-	// worker count: workers fill disjoint, contiguous node ranges that
-	// are stitched in node order.
+	// worker count: chunks cover disjoint, contiguous node ranges and
+	// are stitched in node order, and each node's successor list
+	// depends only on the node itself.
 	Workers int
 }
 
@@ -81,8 +102,9 @@ func New(shape *resource.Shape, vmTypes []resource.VMType) (*Space, error) {
 // against the shape. Types with no demand on any of the shape's groups
 // are skipped (they would only contribute self-loops).
 func NewSpace(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Space, error) {
-	if n := shape.NumProfiles(); n < 0 || n > MaxNodes {
-		return nil, fmt.Errorf("lattice: profile space has %d canonical nodes, above limit %d (use the factored ranker)", n, MaxNodes)
+	np := shape.NumProfiles()
+	if np < 0 || np > MaxNodes {
+		return nil, fmt.Errorf("lattice: profile space has %d canonical nodes, above limit %d (use the factored ranker)", np, MaxNodes)
 	}
 	var active []resource.VMType
 	for _, vt := range vmTypes {
@@ -101,72 +123,174 @@ func NewSpace(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*
 		}
 	}
 
-	s := &Space{shape: shape}
+	s := &Space{shape: shape, dims: shape.NumDims(), n: int(np)}
+	s.rank = newShapeRank(shape)
 	s.enumerate()
 	s.wire(active, opts.Workers)
 	return s, nil
 }
 
-// enumerate generates all canonical profiles (non-decreasing within
-// each group) in lexicographic order; node ids are lexicographic
-// ranks. Layer order is not required anywhere: traversals rely only on
-// the DAG property (every edge strictly increases total usage).
+// enumerate writes all canonical profiles (non-decreasing within each
+// group) into the node arena in lexicographic order; node ids are
+// lexicographic ranks, which is exactly what the rank.go tables
+// compute. Generation is an odometer: increment the last incrementable
+// dimension, raise the rest of its group to the new value, zero all
+// later groups.
 func (s *Space) enumerate() {
-	dims := s.shape.NumDims()
-	cur := make(resource.Vec, dims)
-	var nodes []resource.Vec
-
-	// Per-dimension generation with the non-decreasing constraint
-	// inside each group.
-	var gen func(gi, di int)
-	gen = func(gi, di int) {
-		if gi == s.shape.NumGroups() {
-			nodes = append(nodes, cur.Clone())
-			return
+	dims, n := s.dims, s.n
+	s.vals = make([]int, n*dims)
+	dimEnd := make([]int, dims) // end of the dimension's group
+	dimCap := make([]int, dims)
+	for gi := range s.rank.groups {
+		g := &s.rank.groups[gi]
+		for d := g.lo; d < g.hi; d++ {
+			dimEnd[d] = g.hi
+			dimCap[d] = g.capU
 		}
-		lo, hi := s.shape.GroupRange(gi)
-		g := s.shape.Group(gi)
-		dim := lo + di
-		if dim == hi {
-			gen(gi+1, 0)
-			return
-		}
-		min := 0
-		if di > 0 {
-			min = cur[dim-1]
-		}
-		for v := min; v <= g.Cap; v++ {
-			cur[dim] = v
-			gen(gi, di+1)
-		}
-		cur[dim] = 0
 	}
-	gen(0, 0)
-
-	s.nodes = nodes
-	s.index = make(map[string]int, len(nodes))
-	for i, n := range nodes {
-		s.index[s.shape.KeyCanon(n)] = i
+	prev := s.vals[:dims] // node 0 is all-zero
+	for i := 1; i < n; i++ {
+		cur := s.vals[i*dims : (i+1)*dims]
+		copy(cur, prev)
+		for d := dims - 1; d >= 0; d-- {
+			if cur[d] < dimCap[d] {
+				cur[d]++
+				v := cur[d]
+				for e := d + 1; e < dimEnd[d]; e++ {
+					cur[e] = v
+				}
+				for e := dimEnd[d]; e < dims; e++ {
+					cur[e] = 0
+				}
+				break
+			}
+		}
+		prev = cur
 	}
 }
 
-// wireChunk holds one worker's output: successor counts and edge
-// buffers for a contiguous node range, concatenated in node order by
-// the stitch pass.
-type wireChunk struct {
+// typePlan is the per-VM-type wiring plan shared read-only by every
+// worker: demand ranges resolved against the shape, the distinct
+// groups the type touches (only those contribute to the successor id
+// delta), and the fixed assignment length of every placement.
+type typePlan struct {
+	demands []demandPlan
+	touched []int // distinct group indices, in demand order
+	stride  int   // assignment entries per placement: sum of unit counts
+	dead    bool  // a demand names a group absent from the shape
+}
+
+type demandPlan struct {
+	units       []int // per-unit amounts (aliases the VMType, read-only)
+	lo, hi, cap int
+}
+
+func buildTypePlans(shape *resource.Shape, vmTypes []resource.VMType) []typePlan {
+	plans := make([]typePlan, len(vmTypes))
+	for t, vt := range vmTypes {
+		p := &plans[t]
+		for _, d := range vt.Demands {
+			gi := shape.GroupIndex(d.Group)
+			if gi < 0 {
+				// NewSpace validated the type, so this only happens for
+				// literal-constructed types fed to wire in tests; such a
+				// demand makes every placement infeasible.
+				*p = typePlan{dead: true}
+				break
+			}
+			lo, hi := shape.GroupRange(gi)
+			p.demands = append(p.demands, demandPlan{units: d.Units, lo: lo, hi: hi, cap: shape.Group(gi).Cap})
+			known := false
+			for _, k := range p.touched {
+				if k == gi {
+					known = true
+					break
+				}
+			}
+			if !known {
+				p.touched = append(p.touched, gi)
+			}
+			p.stride += len(d.Units)
+		}
+	}
+	return plans
+}
+
+// wireBufs is one chunk's growable output plus the enumeration
+// scratch, pooled across chunks and across builds: after warmup a
+// build's only allocations are the final exact-size arenas.
+type wireBufs struct {
 	succ    []int32 // union edges, deduped, per node in range
 	succCnt []int32 // union out-degree per node in range
 	tSucc   []int32 // typed edges (enumeration order) per (node, type)
-	tAssign []resource.Assignment
 	tCnt    []int32 // typed out-degree per (node, type)
+	tUnits  []resource.DimUnits
+	sc      wireScratch
+}
+
+// wireScratch backs the in-place placement enumeration. The recursion
+// restores work/used/assign on every backtrack, so between nodes the
+// scratch is all-zero/all-false by invariant and never needs clearing.
+type wireScratch struct {
+	work   []int
+	assign []resource.DimUnits
+	used   [][]bool // one flag array per demand index (demands may share a group)
+	sorted []int
+}
+
+var wireBufPool = sync.Pool{New: func() any { return new(wireBufs) }}
+
+func (b *wireBufs) reset(s *Space, plans []typePlan) {
+	b.succ = b.succ[:0]
+	b.succCnt = b.succCnt[:0]
+	b.tSucc = b.tSucc[:0]
+	b.tCnt = b.tCnt[:0]
+	b.tUnits = b.tUnits[:0]
+
+	maxDemands, maxStride := 0, 0
+	for i := range plans {
+		if n := len(plans[i].demands); n > maxDemands {
+			maxDemands = n
+		}
+		if plans[i].stride > maxStride {
+			maxStride = plans[i].stride
+		}
+	}
+	maxGroup := 0
+	for gi := range s.rank.groups {
+		if d := s.rank.groups[gi].dims; d > maxGroup {
+			maxGroup = d
+		}
+	}
+	if cap(b.sc.work) < s.dims {
+		b.sc.work = make([]int, s.dims)
+	}
+	b.sc.work = b.sc.work[:s.dims]
+	if cap(b.sc.sorted) < maxGroup {
+		b.sc.sorted = make([]int, maxGroup)
+	}
+	b.sc.sorted = b.sc.sorted[:maxGroup]
+	if cap(b.sc.assign) < maxStride {
+		b.sc.assign = make([]resource.DimUnits, 0, maxStride)
+	}
+	b.sc.assign = b.sc.assign[:0]
+	for len(b.sc.used) < maxDemands {
+		b.sc.used = append(b.sc.used, nil)
+	}
+	for i := 0; i < maxDemands; i++ {
+		if len(b.sc.used[i]) < maxGroup {
+			b.sc.used[i] = make([]bool, maxGroup)
+		}
+	}
 }
 
 // wire computes the union CSR and the per-type labeled successor
-// arenas. Node ranges are wired in parallel; each worker writes only
-// its own chunk, so the hot path takes no locks and the stitched
-// output is identical for every worker count.
+// arenas. Chunks of the node range are wired in parallel under a
+// work-stealing counter; each chunk writes only its own pooled
+// buffers, so the hot path takes no locks and the stitched output is
+// identical for every worker count.
 func (s *Space) wire(vmTypes []resource.VMType, workers int) {
-	n := len(s.nodes)
+	n := s.n
 	s.types = vmTypes
 	s.typeIdx = make(map[string]int, len(vmTypes))
 	for t, vt := range vmTypes {
@@ -174,6 +298,8 @@ func (s *Space) wire(vmTypes []resource.VMType, workers int) {
 	}
 	T := len(vmTypes)
 	typed := T > 0 && n <= maxTypedEntries/T
+
+	plans := buildTypePlans(s.shape, vmTypes)
 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -184,114 +310,213 @@ func (s *Space) wire(vmTypes []resource.VMType, workers int) {
 	if workers < 1 {
 		workers = 1
 	}
-	chunkSize := (n + workers - 1) / workers
-	chunks := make([]wireChunk, workers)
+	nchunks := workers * chunksPerWorker
+	if nchunks > n {
+		nchunks = n
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	chunkSz := (n + nchunks - 1) / nchunks
+	bufs := make([]*wireBufs, nchunks)
 
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo, hi := w*chunkSize, (w+1)*chunkSize
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
 		wg.Add(1)
-		go func(c *wireChunk, lo, hi int) {
+		go func() {
 			defer wg.Done()
-			s.wireRange(c, vmTypes, lo, hi, typed)
-		}(&chunks[w], lo, hi)
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				lo := ci * chunkSz
+				hi := lo + chunkSz
+				if hi > n {
+					hi = n
+				}
+				b := wireBufPool.Get().(*wireBufs)
+				s.wireRange(b, plans, lo, hi, typed)
+				bufs[ci] = b
+			}
+		}()
 	}
 	wg.Wait()
 
 	// Stitch: chunk order is node order, so the arenas concatenate and
-	// the offsets are running sums of the per-node counts.
-	totalE, totalT := 0, 0
-	for i := range chunks {
-		totalE += len(chunks[i].succ)
-		totalT += len(chunks[i].tSucc)
+	// the offsets are running sums of the per-node counts. Sizes are
+	// known exactly, so every final arena is allocated once.
+	totalE, totalT, totalU := 0, 0, 0
+	for _, b := range bufs {
+		totalE += len(b.succ)
+		totalT += len(b.tSucc)
+		totalU += len(b.tUnits)
 	}
 	s.succOff = make([]int32, n+1)
-	s.succ = make([]int32, 0, totalE)
+	s.succ = make([]int32, totalE)
 	if typed {
 		s.tOff = make([]int32, n*T+1)
-		s.tSucc = make([]int32, 0, totalT)
-		s.tAssign = make([]resource.Assignment, 0, totalT)
+		s.tSucc = make([]int32, totalT)
+		s.tAssign = make([]resource.Assignment, totalT)
+		s.assignUnits = make([]resource.DimUnits, totalU)
 	}
-	ni, ti := 0, 0
-	for ci := range chunks {
-		c := &chunks[ci]
-		for _, cnt := range c.succCnt {
+	ePos, ni, tPos, ti, uPos := 0, 0, 0, 0, 0
+	for _, b := range bufs {
+		copy(s.succ[ePos:], b.succ)
+		ePos += len(b.succ)
+		for _, cnt := range b.succCnt {
 			s.succOff[ni+1] = s.succOff[ni] + cnt
 			ni++
 		}
-		s.succ = append(s.succ, c.succ...)
 		if typed {
-			for _, cnt := range c.tCnt {
+			copy(s.tSucc[tPos:], b.tSucc)
+			copy(s.assignUnits[uPos:], b.tUnits)
+			for k, cnt := range b.tCnt {
 				s.tOff[ti+1] = s.tOff[ti] + cnt
 				ti++
+				stride := plans[k%T].stride
+				for e := int32(0); e < cnt; e++ {
+					s.tAssign[tPos] = resource.Assignment(s.assignUnits[uPos : uPos+stride : uPos+stride])
+					tPos++
+					uPos += stride
+				}
 			}
-			s.tSucc = append(s.tSucc, c.tSucc...)
-			s.tAssign = append(s.tAssign, c.tAssign...)
 		}
+		wireBufPool.Put(b)
 	}
 }
 
-// wireRange wires nodes [lo, hi) into c. Union successors are deduped
-// by a linear scan over the node's (small) out-list — no per-node map
-// allocation — preserving first-seen order across types.
-func (s *Space) wireRange(c *wireChunk, vmTypes []resource.VMType, lo, hi int, typed bool) {
-	c.succCnt = make([]int32, 0, hi-lo)
-	if typed {
-		c.tCnt = make([]int32, 0, (hi-lo)*len(vmTypes))
-	}
+// wireCtx is the per-(node, type) enumeration state. It mirrors
+// resource.Placements exactly — same recursion order, same symmetric-
+// duplicate pruning, same first-seen dedup of canonical outcomes — but
+// computes successor ids arithmetically from the mutated work profile
+// instead of materializing result vectors and string keys.
+type wireCtx struct {
+	s      *Space
+	b      *wireBufs
+	p      *typePlan
+	base   int // node id minus the touched groups' rank contributions
+	uStart int // start of the current node's union segment in b.succ
+	tStart int // start of the current (node, type) segment in b.tSucc
+	typed  bool
+}
+
+func (s *Space) wireRange(b *wireBufs, plans []typePlan, lo, hi int, typed bool) {
+	b.reset(s, plans)
+	c := wireCtx{s: s, b: b, typed: typed}
 	for i := lo; i < hi; i++ {
-		node := s.nodes[i]
-		start := len(c.succ)
-		for _, vt := range vmTypes {
-			pls := resource.Placements(s.shape, node, vt)
-			for _, pl := range pls {
-				j, ok := s.index[pl.Key]
-				if !ok {
-					// Placements stays within capacity, so the result
-					// is always in the lattice.
-					panic(fmt.Sprintf("lattice: successor %v not enumerated", pl.Result))
+		node := s.vals[i*s.dims : (i+1)*s.dims]
+		c.uStart = len(b.succ)
+		for t := range plans {
+			p := &plans[t]
+			c.tStart = len(b.tSucc)
+			if !p.dead && len(p.demands) > 0 {
+				copy(b.sc.work, node)
+				base := i
+				for _, gi := range p.touched {
+					g := &s.rank.groups[gi]
+					base -= ((i / g.radix) % g.count) * g.radix
 				}
-				if typed {
-					c.tSucc = append(c.tSucc, int32(j))
-					c.tAssign = append(c.tAssign, pl.Assign)
-				}
-				dup := false
-				for _, e := range c.succ[start:] {
-					if e == int32(j) {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					c.succ = append(c.succ, int32(j))
-				}
+				c.p, c.base = p, base
+				b.sc.assign = b.sc.assign[:0]
+				c.place(0)
 			}
 			if typed {
-				c.tCnt = append(c.tCnt, int32(len(pls)))
+				b.tCnt = append(b.tCnt, int32(len(b.tSucc)-c.tStart))
 			}
 		}
-		c.succCnt = append(c.succCnt, int32(len(c.succ)-start))
+		b.succCnt = append(b.succCnt, int32(len(b.succ)-c.uStart))
 	}
+}
+
+// place recurses over the type's demands; at the leaf every demand has
+// been assigned and work holds the (non-canonical) successor profile.
+func (c *wireCtx) place(di int) {
+	if di == len(c.p.demands) {
+		c.leaf()
+		return
+	}
+	c.placeUnit(di, 0, c.p.demands[di].lo)
+}
+
+// placeUnit places unit unitIdx of demand di on a distinct dimension
+// of the demand's group. Units are sorted descending (NewVMType);
+// identical consecutive units are forced onto increasing dimension
+// indices to avoid enumerating symmetric duplicates.
+func (c *wireCtx) placeUnit(di, unitIdx, minDim int) {
+	d := &c.p.demands[di]
+	if unitIdx == len(d.units) {
+		c.place(di + 1)
+		return
+	}
+	u := d.units[unitIdx]
+	start := d.lo
+	if unitIdx > 0 && d.units[unitIdx-1] == u {
+		start = minDim
+	}
+	used := c.b.sc.used[di]
+	work := c.b.sc.work
+	for dim := start; dim < d.hi; dim++ {
+		if used[dim-d.lo] || work[dim]+u > d.cap {
+			continue
+		}
+		used[dim-d.lo] = true
+		work[dim] += u
+		c.b.sc.assign = append(c.b.sc.assign, resource.DimUnits{Dim: dim, Units: u})
+		c.placeUnit(di, unitIdx+1, dim+1)
+		c.b.sc.assign = c.b.sc.assign[:len(c.b.sc.assign)-1]
+		work[dim] -= u
+		used[dim-d.lo] = false
+	}
+}
+
+// leaf ranks the successor profile and appends the edge unless its
+// canonical outcome was already seen — per type for the labeled list
+// (first-seen representative assignment, like resource.Placements) and
+// per node for the union CSR.
+func (c *wireCtx) leaf() {
+	sc := &c.b.sc
+	id := c.base
+	for _, gi := range c.p.touched {
+		g := &c.s.rank.groups[gi]
+		sg := sc.sorted[:g.dims]
+		copy(sg, sc.work[g.lo:g.hi])
+		insertionSort(sg)
+		id += g.rankSorted(sg) * g.radix
+	}
+	b := c.b
+	if c.typed {
+		for _, e := range b.tSucc[c.tStart:] {
+			if e == int32(id) {
+				return
+			}
+		}
+		b.tSucc = append(b.tSucc, int32(id))
+		b.tUnits = append(b.tUnits, sc.assign...)
+	}
+	for _, e := range b.succ[c.uStart:] {
+		if e == int32(id) {
+			return
+		}
+	}
+	b.succ = append(b.succ, int32(id))
 }
 
 // Shape returns the PM shape of the space.
 func (s *Space) Shape() *resource.Shape { return s.shape }
 
 // Len returns the number of canonical profiles.
-func (s *Space) Len() int { return len(s.nodes) }
+func (s *Space) Len() int { return s.n }
 
 // Edges returns the total number of edges in the union graph.
 func (s *Space) Edges() int { return len(s.succ) }
 
 // Node returns the canonical profile with id i. The returned vector
-// must not be modified.
-func (s *Space) Node(i int) resource.Vec { return s.nodes[i] }
+// aliases the node arena and must not be modified.
+func (s *Space) Node(i int) resource.Vec {
+	return resource.Vec(s.vals[i*s.dims : (i+1)*s.dims : (i+1)*s.dims])
+}
 
 // Succ returns the successor node ids of node i. The returned slice
 // aliases the CSR arena and must not be modified.
@@ -339,28 +564,67 @@ func (s *Space) TypedAssign(i, t int) []resource.Assignment {
 }
 
 // Index returns the node id of a (not necessarily canonical) profile,
-// or -1 when the profile is not in the lattice.
+// or -1 when the profile is not in the lattice. The lookup is
+// arithmetic — sort each group into a stack buffer and rank it — so it
+// does not allocate for shapes with groups of at most 64 dimensions.
+//
+//prvm:hotpath
 func (s *Space) Index(v resource.Vec) int {
-	if i, ok := s.index[s.shape.Key(v)]; ok {
-		return i
+	if len(v) != s.dims {
+		return -1
 	}
-	return -1
+	var stack [64]int
+	id := 0
+	for gi := range s.rank.groups {
+		g := &s.rank.groups[gi]
+		sg := stack[:]
+		if g.dims > len(stack) {
+			sg = make([]int, g.dims) //prvmlint:allow hotalloc — cold fallback for >64-dim groups
+		}
+		sg = sg[:g.dims]
+		copy(sg, v[g.lo:g.hi])
+		insertionSort(sg)
+		if sg[0] < 0 || sg[g.dims-1] > g.capU {
+			return -1
+		}
+		id += g.rankSorted(sg) * g.radix
+	}
+	return id
 }
 
-// IndexKey returns the node id for a canonical key, or -1.
+// IndexKey returns the node id for a canonical key, or -1 for keys
+// that are malformed, out of range, or not canonical.
+//
+//prvm:hotpath
 func (s *Space) IndexKey(key string) int {
-	if i, ok := s.index[key]; ok {
-		return i
+	if len(key) != s.dims {
+		return -1
 	}
-	return -1
+	id := 0
+	for gi := range s.rank.groups {
+		g := &s.rank.groups[gi]
+		r, prev := 0, 0
+		stride := g.capU + 1
+		for k := 0; k < g.dims; k++ {
+			val := int(key[g.lo+k])
+			if val < prev || val > g.capU {
+				return -1
+			}
+			row := g.pref[(g.dims-1-k)*stride : (g.dims-k)*stride]
+			r += row[val] - row[prev]
+			prev = val
+		}
+		id += r * g.radix
+	}
+	return id
 }
 
 // Utils returns the aggregate utilization of every node, indexed by
 // node id.
 func (s *Space) Utils() []float64 {
-	out := make([]float64, len(s.nodes))
-	for i, n := range s.nodes {
-		out[i] = s.shape.Util(n)
+	out := make([]float64, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.shape.Util(s.Node(i))
 	}
 	return out
 }
@@ -369,7 +633,7 @@ func (s *Space) Utils() []float64 {
 // that cannot accommodate any VM from the set).
 func (s *Space) Terminals() []int {
 	var out []int
-	for i := range s.nodes {
+	for i := 0; i < s.n; i++ {
 		if s.succOff[i] == s.succOff[i+1] {
 			out = append(out, i)
 		}

@@ -1,0 +1,303 @@
+package ranktable
+
+// Shape-keyed table cache (DESIGN.md §13). Heterogeneous fleets hold
+// PMs of several types whose shapes — and even individual resource
+// groups — overlap (Amazon's M3 and C3 share the cpu and disk group
+// geometry), so without a cache every registry build re-runs identical
+// lattice wiring and rank iterations once per PM type. The cache
+// builds each distinct (shape, VM-type set, options) table exactly
+// once, with singleflight semantics: concurrent requests for the same
+// key share one build instead of racing duplicate work.
+//
+// The key is a byte string: a kind tag ('J' joint, 'F' factored), the
+// canonical shape (group names, dims, caps in order), the VM types in
+// the given order (order is semantic — it fixes the union successor
+// order and therefore the float summation order of the scores), and a
+// fingerprint of every output-affecting option (mode, damping,
+// epsilon, max iterations, reward exponent, BPRU toggle). Obs,
+// Recorder, WireWorkers and Cache itself are excluded: they never
+// change the table's contents (wiring is deterministic for any worker
+// count). A consequence worth knowing: a cache hit does not re-emit
+// build spans or build metrics for the second caller's Recorder/Obs.
+//
+// The hit path is allocation-free: the key is assembled in a stack
+// buffer and looked up via the compiler's map[string(bytes)]
+// optimization, and waiting on a completed build is a receive from an
+// already-closed channel.
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"time"
+
+	"pagerankvm/internal/obs"
+	"pagerankvm/internal/resource"
+)
+
+// DefaultCacheEntries is the eviction bound of NewCache(0): eviction
+// is by completed-entry count, not bytes, because table footprints are
+// shape-dependent and the caller picking the bound knows its fleet.
+const DefaultCacheEntries = 64
+
+// cacheKeyBufSize sizes the stack key buffer of the lookup fast path.
+// Production keys stay under it (a dozen three-demand VM types on a
+// three-group shape fingerprint to ~900 bytes); longer keys fall back
+// to one heap allocation.
+const cacheKeyBufSize = 1024
+
+// Cache deduplicates rank-table builds by shape, VM-type set and
+// options. Safe for concurrent use. The zero value is not usable; call
+// NewCache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	clock   int64 // LRU tick, advanced under mu
+	max     int
+
+	// Own counters back Stats() even without an observer; the obs
+	// instruments mirror them for metric exposition.
+	nHits, nMisses, nEvictions int64 // under mu
+
+	hits, misses, evictions *obs.Counter
+	buildSeconds            *obs.Histogram
+}
+
+// cacheEntry is one in-flight or completed build. done is closed when
+// the build finishes; table/factored/err are written before the close
+// and never after, so waiters read them without the cache lock.
+type cacheEntry struct {
+	done     chan struct{}
+	table    *Table
+	factored *Factored
+	err      error
+	lastUse  int64 // LRU tick of the latest lookup, read/written under mu
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      int64 // lookups served from a completed or in-flight build
+	Misses    int64 // lookups that started a build
+	Evictions int64
+	Entries   int // completed + in-flight entries currently held
+}
+
+// NewCache returns a cache evicting least-recently-used completed
+// entries beyond maxEntries (0 selects DefaultCacheEntries). The
+// observer, when non-nil, feeds ranktable.cache_* counters and the
+// cache_build_seconds histogram.
+func NewCache(maxEntries int, o *obs.Observer) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheEntries
+	}
+	return &Cache{
+		entries:      make(map[string]*cacheEntry, maxEntries),
+		max:          maxEntries,
+		hits:         o.Counter("ranktable.cache_hits"),
+		misses:       o.Counter("ranktable.cache_misses"),
+		evictions:    o.Counter("ranktable.cache_evictions"),
+		buildSeconds: o.Histogram("ranktable.cache_build_seconds", nil),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.nHits,
+		Misses:    c.nMisses,
+		Evictions: c.nEvictions,
+		Entries:   len(c.entries),
+	}
+}
+
+// Joint returns the joint table for (shape, vmTypes, opts), building
+// it at most once per key. Concurrent callers with the same key share
+// the build.
+//
+//prvm:hotpath
+func (c *Cache) Joint(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Table, error) {
+	var arr [cacheKeyBufSize]byte
+	key := appendCacheKey(arr[:0], 'J', shape, vmTypes, opts)
+	e, hit := c.lookup(key)
+	if hit {
+		<-e.done
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.table, nil
+	}
+	opts.Cache = nil // build directly; re-entering the cache would deadlock on this key
+	start := time.Now()
+	t, err := buildJoint(shape, vmTypes, opts)
+	e.table, e.err = t, err
+	c.finish(key, e, err, time.Since(start))
+	return t, err
+}
+
+// Factored returns the factored ranker for (shape, vmTypes, opts),
+// building it at most once per key. The per-group joint builds inside
+// a factored miss still go through the cache, so group sub-lattices
+// shared between PM types (same group geometry and projected demands)
+// are also built exactly once.
+//
+//prvm:hotpath
+func (c *Cache) Factored(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Factored, error) {
+	var arr [cacheKeyBufSize]byte
+	key := appendCacheKey(arr[:0], 'F', shape, vmTypes, opts)
+	e, hit := c.lookup(key)
+	if hit {
+		<-e.done
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.factored, nil
+	}
+	opts.Cache = c // keep for the group joints; buildFactored itself never consults it
+	start := time.Now()
+	f, err := buildFactored(shape, vmTypes, opts)
+	e.factored, e.err = f, err
+	c.finish(key, e, err, time.Since(start))
+	return f, err
+}
+
+// lookup returns the entry for key and whether it already existed.
+// When absent, an in-flight entry is registered under the key and the
+// caller owns the build; every other caller blocks on entry.done.
+//
+//prvm:hotpath
+func (c *Cache) lookup(key []byte) (*cacheEntry, bool) {
+	c.mu.Lock()
+	//prvmlint:allow hotalloc — map-index string(bytes) is the compiler's no-copy form
+	if e, ok := c.entries[string(key)]; ok {
+		c.clock++
+		e.lastUse = c.clock
+		c.nHits++
+		c.mu.Unlock()
+		c.hits.Inc()
+		return e, true
+	}
+	//prvmlint:allow hotalloc — miss path: registering the in-flight build
+	e := &cacheEntry{done: make(chan struct{})}
+	c.clock++
+	e.lastUse = c.clock
+	//prvmlint:allow hotalloc — miss path: the stored key must outlive the stack buffer
+	c.entries[string(key)] = e
+	c.nMisses++
+	c.mu.Unlock()
+	c.misses.Inc()
+	return e, false
+}
+
+// finish publishes a build result: waiters are released, failed builds
+// are forgotten (so a later call retries instead of caching the
+// error), and completed entries beyond the bound evict the least
+// recently used completed entry.
+func (c *Cache) finish(key []byte, e *cacheEntry, err error, took time.Duration) {
+	close(e.done)
+	c.buildSeconds.Observe(took.Seconds())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		delete(c.entries, string(key))
+		return
+	}
+	for len(c.entries) > c.max {
+		var (
+			oldKey string
+			oldest *cacheEntry
+		)
+		for k, cand := range c.entries {
+			select {
+			case <-cand.done: // only completed entries are evictable
+			default:
+				continue
+			}
+			if cand == e {
+				continue // never evict the entry just inserted
+			}
+			if oldest == nil || cand.lastUse < oldest.lastUse {
+				oldKey, oldest = k, cand
+			}
+		}
+		if oldest == nil {
+			return // everything else is in flight; over-budget until they land
+		}
+		delete(c.entries, oldKey)
+		c.nEvictions++
+		c.evictions.Inc()
+	}
+}
+
+// appendCacheKey assembles the build fingerprint into dst. Strings are
+// length-prefixed (two bytes, big-endian) so distinct structures can
+// never collide; floats are their IEEE bit patterns with an explicit
+// presence byte distinguishing nil (defaulted) pointers from set ones.
+//
+//prvm:hotpath
+func appendCacheKey(dst []byte, kind byte, shape *resource.Shape, vmTypes []resource.VMType, opts Options) []byte {
+	//prvmlint:allow hotalloc — appends spill to the heap only past cacheKeyBufSize
+	dst = append(dst, kind)
+	dst = appendUint32(dst, uint32(shape.NumGroups()))
+	for gi := 0; gi < shape.NumGroups(); gi++ {
+		g := shape.Group(gi)
+		dst = appendString(dst, g.Name)
+		dst = appendUint32(dst, uint32(g.Dims))
+		dst = appendUint32(dst, uint32(g.Cap))
+	}
+	dst = appendUint32(dst, uint32(len(vmTypes)))
+	for _, vt := range vmTypes {
+		dst = appendString(dst, vt.Name)
+		dst = appendUint32(dst, uint32(len(vt.Demands)))
+		for _, d := range vt.Demands {
+			dst = appendString(dst, d.Group)
+			dst = appendUint32(dst, uint32(len(d.Units)))
+			for _, u := range d.Units {
+				dst = appendUint32(dst, uint32(u))
+			}
+		}
+	}
+	//prvmlint:allow hotalloc — appends spill to the heap only past cacheKeyBufSize
+	dst = append(dst, byte(opts.Mode))
+	dst = appendOptFloat(dst, opts.PageRank.Damping)
+	dst = appendOptFloat(dst, opts.PageRank.Epsilon)
+	dst = appendUint32(dst, uint32(opts.PageRank.MaxIter))
+	dst = appendOptFloat(dst, opts.RewardExponent)
+	if opts.DisableBPRU {
+		//prvmlint:allow hotalloc — appends spill to the heap only past cacheKeyBufSize
+		dst = append(dst, 1)
+	} else {
+		//prvmlint:allow hotalloc — appends spill to the heap only past cacheKeyBufSize
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+//prvm:hotpath
+func appendString(dst []byte, s string) []byte {
+	//prvmlint:allow hotalloc — appends spill to the heap only past cacheKeyBufSize
+	dst = append(dst, byte(len(s)>>8), byte(len(s)))
+	//prvmlint:allow hotalloc — appends spill to the heap only past cacheKeyBufSize
+	return append(dst, s...)
+}
+
+//prvm:hotpath
+func appendUint32(dst []byte, v uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	//prvmlint:allow hotalloc — appends spill to the heap only past cacheKeyBufSize
+	return append(dst, b[0], b[1], b[2], b[3])
+}
+
+//prvm:hotpath
+func appendOptFloat(dst []byte, f *float64) []byte {
+	if f == nil {
+		//prvmlint:allow hotalloc — appends spill to the heap only past cacheKeyBufSize
+		return append(dst, 0)
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(*f))
+	//prvmlint:allow hotalloc — appends spill to the heap only past cacheKeyBufSize
+	return append(dst, 1, b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7])
+}

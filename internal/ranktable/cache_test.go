@@ -1,0 +1,292 @@
+package ranktable
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"pagerankvm/internal/obs"
+	"pagerankvm/internal/opt"
+	"pagerankvm/internal/resource"
+)
+
+func cacheShape() *resource.Shape {
+	return resource.MustShape(resource.Group{Name: "cpu", Dims: 4, Cap: 4})
+}
+
+func cacheTypes() []resource.VMType {
+	return []resource.VMType{
+		resource.NewVMType("[1,1]", resource.Demand{Group: "cpu", Units: []int{1, 1}}),
+		resource.NewVMType("[2]", resource.Demand{Group: "cpu", Units: []int{2}}),
+	}
+}
+
+func TestCacheHitReturnsSameTable(t *testing.T) {
+	c := NewCache(0, nil)
+	opts := Options{Cache: c}
+	a, err := NewJoint(cacheShape(), cacheTypes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewJoint(cacheShape(), cacheTypes(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache returned a different table for an identical build")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	c := NewCache(0, nil)
+	base := Options{Cache: c}
+	if _, err := NewJoint(cacheShape(), cacheTypes(), base); err != nil {
+		t.Fatal(err)
+	}
+	// Every output-affecting knob must change the key.
+	variants := []Options{
+		{Cache: c, Mode: ModeReversePR},
+		{Cache: c, Mode: ModeForwardPR},
+		{Cache: c, RewardExponent: opt.F(2)},
+		{Cache: c, DisableBPRU: true},
+	}
+	variants[0].PageRank.MaxIter = 0
+	for i, o := range variants {
+		if _, err := NewJoint(cacheShape(), cacheTypes(), o); err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+	}
+	damped := Options{Cache: c}
+	damped.PageRank.Damping = opt.F(0.5)
+	if _, err := NewJoint(cacheShape(), cacheTypes(), damped); err != nil {
+		t.Fatal(err)
+	}
+	// A different shape and a different VM-type set also miss.
+	other := resource.MustShape(resource.Group{Name: "cpu", Dims: 3, Cap: 4})
+	if _, err := NewJoint(other, cacheTypes(), base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewJoint(cacheShape(), cacheTypes()[:1], base); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Hits != 0 {
+		t.Fatalf("distinct builds produced %d cache hits", st.Hits)
+	}
+	if st.Misses != 8 {
+		t.Fatalf("misses = %d, want 8", st.Misses)
+	}
+	// Output-invariant knobs must NOT change the key.
+	same := Options{Cache: c, WireWorkers: 3, Obs: obs.New()}
+	if _, err := NewJoint(cacheShape(), cacheTypes(), same); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Hits != 1 {
+		t.Fatalf("WireWorkers/Obs changed the cache key (hits = %d)", got.Hits)
+	}
+}
+
+// TestCacheKeyTypeOrder pins that the VM-type order is part of the
+// key: order fixes the union successor order, hence the float
+// summation order, hence the bitwise scores.
+func TestCacheKeyTypeOrder(t *testing.T) {
+	c := NewCache(0, nil)
+	opts := Options{Cache: c}
+	types := cacheTypes()
+	if _, err := NewJoint(cacheShape(), types, opts); err != nil {
+		t.Fatal(err)
+	}
+	reversed := []resource.VMType{types[1], types[0]}
+	if _, err := NewJoint(cacheShape(), reversed, opts); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Fatalf("type order did not discriminate: %+v", st)
+	}
+}
+
+// TestCacheSingleflight hammers one key from many goroutines; the
+// build must run exactly once and every caller must get that build.
+// Run under -race (the hotpath CI job does) this also proves the
+// concurrent-build path is data-race free.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(0, nil)
+	opts := Options{Cache: c}
+	const callers = 16
+	tables := make([]*Table, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tb, err := NewJoint(cacheShape(), cacheTypes(), opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tables[i] = tb
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if tables[i] != tables[0] {
+			t.Fatal("concurrent callers got distinct tables")
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("build ran %d times, want 1", st.Misses)
+	}
+}
+
+func TestCacheEvictsLRUByCount(t *testing.T) {
+	c := NewCache(2, nil)
+	opts := Options{Cache: c}
+	shapes := []*resource.Shape{
+		resource.MustShape(resource.Group{Name: "cpu", Dims: 2, Cap: 2}),
+		resource.MustShape(resource.Group{Name: "cpu", Dims: 2, Cap: 3}),
+		resource.MustShape(resource.Group{Name: "cpu", Dims: 2, Cap: 4}),
+	}
+	ty := cacheTypes()[:1]
+	if _, err := NewJoint(shapes[0], ty, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewJoint(shapes[1], ty, opts); err != nil {
+		t.Fatal(err)
+	}
+	// Touch shape 0 so shape 1 is the LRU, then overflow with shape 2.
+	if _, err := NewJoint(shapes[0], ty, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewJoint(shapes[2], ty, opts); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", st)
+	}
+	// Shape 0 must still be cached; shape 1 must rebuild.
+	if _, err := NewJoint(shapes[0], ty, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Hits; got != 2 {
+		t.Fatalf("hits = %d, want 2 (recently-used entry evicted?)", got)
+	}
+	if _, err := NewJoint(shapes[1], ty, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != 4 {
+		t.Fatalf("misses = %d, want 4 (LRU entry survived eviction?)", got)
+	}
+}
+
+// TestCacheErrorNotCached: failed builds must be forgotten so a later
+// call retries instead of replaying the error forever.
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(0, nil)
+	opts := Options{Cache: c, Mode: Mode(99)}
+	if _, err := NewJoint(cacheShape(), cacheTypes(), opts); err == nil {
+		t.Fatal("bogus mode built successfully")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("failed build left %d entries in the cache", st.Entries)
+	}
+	if _, err := NewJoint(cacheShape(), cacheTypes(), opts); err == nil {
+		t.Fatal("bogus mode built successfully on retry")
+	}
+	if st := c.Stats(); st.Misses != 2 {
+		t.Fatalf("failed build was served from cache: %+v", st)
+	}
+}
+
+// TestCacheFactoredGroupDedup: two PM types with overlapping group
+// geometry must share the overlapping per-group sub-tables — that is
+// the heterogeneous-fleet win the cache exists for.
+func TestCacheFactoredGroupDedup(t *testing.T) {
+	c := NewCache(0, nil)
+	opts := Options{Cache: c}
+	types := []resource.VMType{
+		resource.NewVMType("vm",
+			resource.Demand{Group: "cpu", Units: []int{1, 1}},
+			resource.Demand{Group: "mem", Units: []int{2}},
+		),
+	}
+	shapeA := resource.MustShape(
+		resource.Group{Name: "cpu", Dims: 3, Cap: 4},
+		resource.Group{Name: "mem", Dims: 1, Cap: 8},
+	)
+	shapeB := resource.MustShape(
+		resource.Group{Name: "cpu", Dims: 3, Cap: 4}, // same cpu geometry as A
+		resource.Group{Name: "mem", Dims: 1, Cap: 16},
+	)
+	fa, err := NewFactored(shapeA, types, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := NewFactored(shapeB, types, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.GroupTable(0) != fb.GroupTable(0) {
+		t.Fatal("identical cpu sub-lattices were built twice")
+	}
+	if fa.GroupTable(1) == fb.GroupTable(1) {
+		t.Fatal("distinct mem sub-lattices were wrongly shared")
+	}
+	// 2 factored keys + 3 distinct group keys (cpu shared), no hits at
+	// the factored level, 1 hit at the cpu group level.
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 5 {
+		t.Fatalf("stats = %+v, want 1 hit / 5 misses", st)
+	}
+	// The shared table must score identically through both rankers.
+	p := resource.Vec{1, 1, 0}
+	sa, oka := fa.GroupTable(0).Score(p)
+	sb, okb := fb.GroupTable(0).Score(p)
+	if !oka || !okb || math.Float64bits(sa) != math.Float64bits(sb) {
+		t.Fatalf("shared group table scores differ: %v/%v %v/%v", sa, oka, sb, okb)
+	}
+}
+
+// TestCacheUncachedBitwiseEqual: a cached build must be bitwise the
+// uncached build — the cache only changes when work happens, never
+// what it produces.
+func TestCacheUncachedBitwiseEqual(t *testing.T) {
+	cached, err := NewJoint(cacheShape(), cacheTypes(), Options{Cache: NewCache(0, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewJoint(cacheShape(), cacheTypes(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Len() != plain.Len() {
+		t.Fatalf("len %d vs %d", cached.Len(), plain.Len())
+	}
+	for i := range plain.ids {
+		if math.Float64bits(cached.ids[i]) != math.Float64bits(plain.ids[i]) {
+			t.Fatalf("score %d differs bitwise: %v vs %v", i, cached.ids[i], plain.ids[i])
+		}
+	}
+}
+
+func TestCacheObsCounters(t *testing.T) {
+	o := obs.New()
+	c := NewCache(0, o)
+	opts := Options{Cache: c}
+	if _, err := NewJoint(cacheShape(), cacheTypes(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewJoint(cacheShape(), cacheTypes(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Counter("ranktable.cache_hits").Value(); got != 1 {
+		t.Fatalf("cache_hits = %d, want 1", got)
+	}
+	if got := o.Counter("ranktable.cache_misses").Value(); got != 1 {
+		t.Fatalf("cache_misses = %d, want 1", got)
+	}
+}

@@ -152,11 +152,27 @@ type Options struct {
 	// zero selects GOMAXPROCS (see lattice.Options.Workers). Output is
 	// identical for every worker count.
 	WireWorkers int
+	// Cache, when non-nil, deduplicates builds: NewJoint and
+	// NewFactored consult it by canonical shape, VM-type set and
+	// options fingerprint, and build only on a miss (singleflight; see
+	// Cache). Heterogeneous-fleet registries should share one Cache so
+	// each distinct table — and each distinct per-group sub-table —
+	// builds exactly once.
+	Cache *Cache
 }
 
 // NewJoint builds the exact Profile→score table for shape under the
 // given VM-type set (Algorithm 1 on the full canonical lattice).
+// With Options.Cache set, the build is served from or recorded into
+// the cache.
 func NewJoint(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Table, error) {
+	if opts.Cache != nil {
+		return opts.Cache.Joint(shape, vmTypes, opts)
+	}
+	return buildJoint(shape, vmTypes, opts)
+}
+
+func buildJoint(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Table, error) {
 	start := time.Now()
 	space, err := lattice.NewSpace(shape, vmTypes, lattice.Options{Workers: opts.WireWorkers})
 	if err != nil {
@@ -231,9 +247,13 @@ func fromSpace(space *lattice.Space, opts Options) (*Table, error) {
 		return nil, fmt.Errorf("ranktable: %w", err)
 	}
 
+	// No string-keyed map is materialized here: with the space at hand,
+	// Score/ScoreKey resolve node ids arithmetically (lattice.Index) and
+	// read the dense ids vector, which is both faster and allocation-
+	// free. The map exists only on tables that need it — loaded tables
+	// (no space) and Save, which builds it on demand (scoresMap).
 	t := &Table{
 		shape:  space.Shape(),
-		scores: make(map[string]float64, space.Len()),
 		ids:    scores,
 		space:  space,
 		hits:   opts.Obs.Counter("ranktable.score_hits"),
@@ -245,11 +265,22 @@ func fromSpace(space *lattice.Space, opts Options) (*Table, error) {
 			Converged:  res.Converged,
 		},
 	}
-	for i := 0; i < space.Len(); i++ {
-		t.scores[t.shape.KeyCanon(space.Node(i))] = scores[i]
-	}
 	t.buildBest()
 	return t, nil
+}
+
+// scoresMap returns the canonical-key score map, building it from the
+// lattice when the table was constructed in memory (loaded tables
+// carry the map directly).
+func (t *Table) scoresMap() map[string]float64 {
+	if t.scores != nil || t.space == nil {
+		return t.scores
+	}
+	m := make(map[string]float64, t.space.Len())
+	for i := 0; i < t.space.Len(); i++ {
+		m[t.shape.KeyCanon(t.space.Node(i))] = t.ids[i]
+	}
+	return m
 }
 
 // buildBest precomputes, for every (node, active VM type) pair, the
@@ -287,10 +318,24 @@ func (t *Table) Shape() *resource.Shape { return t.shape }
 func (t *Table) Stats() BuildStats { return t.stats }
 
 // Len returns the number of profiles in the table.
-func (t *Table) Len() int { return len(t.scores) }
+func (t *Table) Len() int {
+	if t.space != nil {
+		return t.space.Len()
+	}
+	return len(t.scores)
+}
 
 // Score returns the rank of profile p.
 func (t *Table) Score(p resource.Vec) (float64, bool) {
+	if t.space != nil {
+		id := t.space.Index(p) // handles length mismatch and out-of-lattice
+		if id < 0 {
+			t.misses.Inc()
+			return 0, false
+		}
+		t.hits.Inc()
+		return t.ids[id], true
+	}
 	if len(p) != t.shape.NumDims() {
 		t.misses.Inc()
 		return 0, false
@@ -302,6 +347,15 @@ func (t *Table) Score(p resource.Vec) (float64, bool) {
 
 // ScoreKey returns the rank for a canonical profile key.
 func (t *Table) ScoreKey(key string) (float64, bool) {
+	if t.space != nil {
+		id := t.space.IndexKey(key)
+		if id < 0 {
+			t.misses.Inc()
+			return 0, false
+		}
+		t.hits.Inc()
+		return t.ids[id], true
+	}
 	s, ok := t.scores[key]
 	t.countLookup(ok)
 	return s, ok
@@ -327,9 +381,17 @@ type Entry struct {
 // Top returns the n highest-scoring profiles, ties broken by profile
 // order, descending by score.
 func (t *Table) Top(n int) []Entry {
-	entries := make([]Entry, 0, len(t.scores))
-	for key, score := range t.scores {
-		entries = append(entries, Entry{Profile: decodeKey(key), Score: score})
+	var entries []Entry
+	if t.space != nil {
+		entries = make([]Entry, 0, t.space.Len())
+		for i := 0; i < t.space.Len(); i++ {
+			entries = append(entries, Entry{Profile: t.space.Node(i).Clone(), Score: t.ids[i]})
+		}
+	} else {
+		entries = make([]Entry, 0, len(t.scores))
+		for key, score := range t.scores {
+			entries = append(entries, Entry{Profile: decodeKey(key), Score: score})
+		}
 	}
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Score > entries[j].Score {
@@ -378,8 +440,18 @@ var _ Ranker = (*Factored)(nil)
 // NewFactored builds one table per resource group of shape, with the
 // VM-type set projected onto each group. Groups build in parallel —
 // each goroutine writes only its own slot, so the result (and the
-// first error, by group order) is deterministic.
+// first error, by group order) is deterministic. With Options.Cache
+// set, the whole ranker and each per-group table are served from or
+// recorded into the cache — two PM types sharing a group geometry
+// share the group's build.
 func NewFactored(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Factored, error) {
+	if opts.Cache != nil {
+		return opts.Cache.Factored(shape, vmTypes, opts)
+	}
+	return buildFactored(shape, vmTypes, opts)
+}
+
+func buildFactored(shape *resource.Shape, vmTypes []resource.VMType, opts Options) (*Factored, error) {
 	ng := shape.NumGroups()
 	f := &Factored{
 		shape:  shape,

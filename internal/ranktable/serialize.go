@@ -26,7 +26,7 @@ func (t *Table) Save(w io.Writer) error {
 	for i := range groups {
 		groups[i] = t.shape.Group(i)
 	}
-	wire := tableWire{Groups: groups, Scores: t.scores, Stats: t.stats}
+	wire := tableWire{Groups: groups, Scores: t.scoresMap(), Stats: t.stats}
 	if err := gob.NewEncoder(w).Encode(wire); err != nil {
 		return fmt.Errorf("ranktable: save: %w", err)
 	}

@@ -36,7 +36,9 @@ func JobTypes() []resource.VMType {
 }
 
 // NewRegistry builds the Profile→score table registry for the testbed
-// PM type.
+// PM type. The testbed fleet is homogeneous (one PM type, one joint
+// table), so no cache is defaulted here; callers sharing tables across
+// harnesses can pass a ranktable.Cache via opts.Cache.
 func NewRegistry(opts ranktable.Options) (*ranktable.Registry, error) {
 	table, err := ranktable.NewJoint(PMShape(), JobTypes(), opts)
 	if err != nil {
