@@ -1,22 +1,33 @@
 GO ?= go
 
-.PHONY: check vet lint lint-self lint-baseline build test race chaos bench bench-compare bench-all golden fmt
+.PHONY: check vet lint lint-self lint-baseline docs-check build test race chaos bench bench-compare bench-all golden fmt
 
 # The full pre-merge gate: static analysis (go vet plus the project's
-# own prvm-lint analyzers), a clean build, and the test suite under the
-# race detector (the obs concurrency tests are written for it).
-check: vet lint build race
+# own prvm-lint analyzers), godoc coverage, a clean build, and the test
+# suite under the race detector (the obs concurrency tests are written
+# for it).
+check: vet lint docs-check build race
 
 vet:
 	$(GO) vet ./...
 
-# The project's eleven analyzers — five domain-invariant (detrand,
-# floateq, obsnilguard, veclen, lockscope) and six concurrency/
+# The project's twelve analyzers — five domain-invariant (detrand,
+# floateq, obsnilguard, veclen, lockscope), six concurrency/
 # determinism (maporder, goroleak, deadlinecall, errswallow, atomicmix,
-# hotalloc) — see DESIGN.md §8 and §12. Findings in lint.baseline are
-# tolerated until their code is touched; anything new exits non-zero.
+# hotalloc), and one documentation gate (doccomment) — see DESIGN.md §8
+# and §12. Findings in lint.baseline are tolerated until their code is
+# touched; anything new exits non-zero.
 lint:
 	$(GO) run ./cmd/prvm-lint -baseline lint.baseline ./...
+
+# Documentation gate: every exported symbol of the core library
+# packages carries a godoc comment leading with its name (tolerated
+# debt lives in docs.allow), and the Example functions compile and
+# their output matches. API.md and README.md stay honest because godoc
+# does.
+docs-check:
+	$(GO) run ./cmd/prvm-lint -run doccomment -baseline docs.allow ./...
+	$(GO) test -run Example ./...
 
 # The linter linting itself plus every command — kept baseline-free:
 # new analyzer code must arrive clean.

@@ -1,0 +1,348 @@
+// Command prvm-load drives a running prvm-serve with a seeded,
+// deterministic mix of place and release requests and reports
+// throughput plus latency percentiles.
+//
+// Usage:
+//
+//	prvm-load [-addr host:port] [-n 20000] [-c 16] [-pipeline 1]
+//	          [-seed s] [-place 0.7] [-types m3.medium,m3.large,...]
+//
+// Each of the -c workers owns one keep-alive TCP connection, a
+// rand.Rand seeded seed+worker, and a private list of VMs it has
+// placed, so each worker's request stream is a pure function of the
+// flags: every op is a place with probability -place (release
+// otherwise; a worker with nothing resident places instead). VM ids
+// are unique per run (worker id in the high bits), so reruns against a
+// fresh server never collide.
+//
+// The client speaks minimal HTTP/1.1 over raw sockets rather than
+// net/http: a load generator's job is to saturate the server, not to
+// spend the box's CPU on its own transport. -pipeline > 1 writes that
+// many requests per batch before reading the responses (HTTP/1.1
+// pipelining); per-request latency then includes queueing behind
+// earlier requests of the batch, which is the honest number under
+// saturation.
+//
+// The report counts only acknowledged decisions (2xx on place or
+// release); rejections (409 capacity) are tallied separately and
+// excluded from the latency distribution. Any 5xx or transport error
+// fails the run.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// opStat is one acknowledged request's latency sample.
+type opStat struct {
+	place bool
+	d     time.Duration
+}
+
+// workerReport aggregates one worker's outcomes; merged after the run.
+type workerReport struct {
+	stats    []opStat
+	rejected int // 409 no_capacity
+	errored  int // transport errors, 4xx other than 409, 5xx
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "prvm-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("prvm-load", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "localhost:8080", "host:port of the prvm-serve instance (scheme prefix allowed)")
+		n        = fs.Int("n", 20000, "total requests across all workers")
+		c        = fs.Int("c", 16, "concurrent workers (one connection each)")
+		pipe     = fs.Int("pipeline", 1, "requests written per batch before reading responses")
+		seed     = fs.Int64("seed", 1, "base seed; worker w uses seed+w")
+		placeP   = fs.Float64("place", 0.7, "probability an op is a place (vs release)")
+		typesArg = fs.String("types", "m3.medium,m3.large,m3.xlarge", "comma-separated VM types to place")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *c <= 0 || *n <= 0 || *pipe <= 0 {
+		return fmt.Errorf("need positive -n, -c and -pipeline")
+	}
+	types := strings.Split(*typesArg, ",")
+	host := strings.TrimRight(strings.TrimPrefix(strings.TrimPrefix(*addr, "http://"), "https://"), "/")
+
+	if err := waitHealthy(host); err != nil {
+		return err
+	}
+
+	perWorker := *n / *c
+	reports := make([]workerReport, *c)
+	errs := make([]error, *c)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reports[w], errs[w] = worker(host, workerCfg{
+				id:     w,
+				ops:    perWorker,
+				pipe:   *pipe,
+				rng:    rand.New(rand.NewSource(*seed + int64(w))),
+				placeP: *placeP,
+				types:  types,
+			})
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for w, err := range errs {
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", w, err)
+		}
+	}
+	var all []opStat
+	rejected, errored := 0, 0
+	for _, r := range reports {
+		all = append(all, r.stats...)
+		rejected += r.rejected
+		errored += r.errored
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no request succeeded (rejected=%d errors=%d)", rejected, errored)
+	}
+	report(os.Stdout, all, rejected, errored, elapsed)
+	if errored > 0 {
+		return fmt.Errorf("%d requests failed", errored)
+	}
+	return nil
+}
+
+// workerCfg parameterizes one worker's deterministic stream.
+type workerCfg struct {
+	id     int
+	ops    int
+	pipe   int
+	rng    *rand.Rand
+	placeP float64
+	types  []string
+}
+
+// pendingOp is one written-but-unanswered request of a batch.
+type pendingOp struct {
+	place bool
+	vm    int
+}
+
+// worker issues cfg.ops requests over one connection in batches of
+// cfg.pipe, timing each against the batch write.
+func worker(host string, cfg workerCfg) (workerReport, error) {
+	var rep workerReport
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return rep, err
+	}
+	defer func() { _ = conn.Close() }()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(conn, 16<<10)
+
+	var (
+		resident []int
+		buf      []byte
+		batch    []pendingOp
+	)
+	nextID := cfg.id << 32 // unique across workers
+	for done := 0; done < cfg.ops; {
+		want := cfg.pipe
+		if r := cfg.ops - done; r < want {
+			want = r
+		}
+		buf = buf[:0]
+		batch = batch[:0]
+		for len(batch) < want {
+			if len(resident) == 0 || cfg.rng.Float64() < cfg.placeP {
+				nextID++
+				vmType := cfg.types[cfg.rng.Intn(len(cfg.types))]
+				buf = appendRequest(buf, host, "/v1/place",
+					`{"vm":`+strconv.Itoa(nextID)+`,"type":"`+vmType+`"}`)
+				batch = append(batch, pendingOp{place: true, vm: nextID})
+			} else {
+				// Release a random resident VM (swap-delete is O(1)).
+				j := cfg.rng.Intn(len(resident))
+				vm := resident[j]
+				resident[j] = resident[len(resident)-1]
+				resident = resident[:len(resident)-1]
+				buf = appendRequest(buf, host, "/v1/release",
+					`{"vm":`+strconv.Itoa(vm)+`}`)
+				batch = append(batch, pendingOp{place: false, vm: vm})
+			}
+		}
+		t0 := time.Now()
+		if _, err := conn.Write(buf); err != nil {
+			return rep, fmt.Errorf("write: %w", err)
+		}
+		for _, op := range batch {
+			code, err := readResponse(br)
+			if err != nil {
+				return rep, fmt.Errorf("read response: %w", err)
+			}
+			switch {
+			case code == 200:
+				rep.stats = append(rep.stats, opStat{place: op.place, d: time.Since(t0)})
+				if op.place {
+					resident = append(resident, op.vm)
+				}
+			case code == 409:
+				rep.rejected++
+			default:
+				rep.errored++
+			}
+			done++
+		}
+	}
+	return rep, nil
+}
+
+// appendRequest appends one HTTP/1.1 POST with a JSON body to buf.
+func appendRequest(buf []byte, host, path, body string) []byte {
+	buf = append(buf, "POST "...)
+	buf = append(buf, path...)
+	buf = append(buf, " HTTP/1.1\r\nHost: "...)
+	buf = append(buf, host...)
+	buf = append(buf, "\r\nContent-Type: application/json\r\nContent-Length: "...)
+	buf = strconv.AppendInt(buf, int64(len(body)), 10)
+	buf = append(buf, "\r\n\r\n"...)
+	return append(buf, body...)
+}
+
+// readResponse parses one HTTP/1.1 response — status line, headers,
+// body — and returns the status code. The body is discarded; only
+// Content-Length framing is supported (prvm-serve always sets it for
+// its small JSON bodies).
+func readResponse(br *bufio.Reader) (int, error) {
+	status, err := br.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	parts := strings.SplitN(status, " ", 3)
+	if len(parts) < 2 {
+		return 0, fmt.Errorf("malformed status line %q", strings.TrimSpace(status))
+	}
+	code, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, fmt.Errorf("malformed status line %q", strings.TrimSpace(status))
+	}
+	length := -1
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return 0, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok {
+			switch strings.ToLower(strings.TrimSpace(k)) {
+			case "content-length":
+				if length, err = strconv.Atoi(strings.TrimSpace(v)); err != nil {
+					return 0, fmt.Errorf("bad content-length %q", v)
+				}
+			case "transfer-encoding":
+				return 0, fmt.Errorf("unsupported transfer-encoding %q", strings.TrimSpace(v))
+			case "connection":
+				if strings.EqualFold(strings.TrimSpace(v), "close") {
+					return 0, fmt.Errorf("server closed the connection (status %d)", code)
+				}
+			}
+		}
+	}
+	if length < 0 {
+		return 0, fmt.Errorf("response without content-length (status %d)", code)
+	}
+	if _, err := io.CopyN(io.Discard, br, int64(length)); err != nil {
+		return 0, err
+	}
+	return code, nil
+}
+
+// waitHealthy polls /healthz briefly so a just-started server does not
+// count startup refusals as load errors.
+func waitHealthy(host string) error {
+	var last error
+	for i := 0; i < 50; i++ {
+		conn, err := net.DialTimeout("tcp", host, time.Second)
+		if err == nil {
+			_, _ = fmt.Fprintf(conn, "GET /healthz HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n", host)
+			status, rerr := bufio.NewReader(conn).ReadString('\n')
+			_ = conn.Close()
+			if rerr == nil && strings.Contains(status, " 200 ") {
+				return nil
+			}
+			last = fmt.Errorf("healthz: %q", strings.TrimSpace(status))
+		} else {
+			last = err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("server not healthy: %w", last)
+}
+
+// report prints throughput and the latency distribution, overall and
+// split by op kind.
+func report(w *os.File, all []opStat, rejected, errored int, elapsed time.Duration) {
+	var places, releases []time.Duration
+	for _, s := range all {
+		if s.place {
+			places = append(places, s.d)
+		} else {
+			releases = append(releases, s.d)
+		}
+	}
+	fmt.Fprintf(w, "decisions: %d (%d place, %d release) in %v — %.0f decisions/sec\n",
+		len(all), len(places), len(releases), elapsed.Round(time.Millisecond),
+		float64(len(all))/elapsed.Seconds())
+	fmt.Fprintf(w, "rejected (409): %d   errors: %d\n", rejected, errored)
+	durs := make([]time.Duration, 0, len(all))
+	for _, s := range all {
+		durs = append(durs, s.d)
+	}
+	line(w, "all", durs)
+	line(w, "place", places)
+	line(w, "release", releases)
+}
+
+// line prints one percentile row; lats need not be pre-sorted.
+func line(w *os.File, name string, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Fprintf(w, "%-8s p50=%v p90=%v p99=%v max=%v\n", name,
+		pct(lats, 50), pct(lats, 90), pct(lats, 99), lats[len(lats)-1])
+}
+
+// pct returns the p-th percentile of sorted lats (nearest-rank).
+func pct(lats []time.Duration, p int) time.Duration {
+	i := (len(lats)*p + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return lats[i]
+}

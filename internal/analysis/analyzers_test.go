@@ -69,6 +69,12 @@ func TestHotalloc(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Hotalloc, "hotalloc")
 }
 
+// The doccomment fixture is named lattice: the analyzer is gated on
+// the core-package names and must fire there.
+func TestDoccomment(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Doccomment, "lattice")
+}
+
 // TestAllowNamesExactAnalyzers proves //prvmlint:allow suppresses
 // exactly the analyzers it names. The allowtest fixture repeats one
 // statement that trips both deadlinecall and errswallow: once with no

@@ -16,4 +16,5 @@ var All = []*Analyzer{
 	Errswallow,
 	Atomicmix,
 	Hotalloc,
+	Doccomment,
 }

@@ -1,0 +1,53 @@
+// Package lattice (fixture) exercises the doccomment analyzer: the
+// package name is on the analyzer's core-package list, so exported
+// symbols here must carry godoc comments that lead with their name.
+package lattice
+
+// Node is a documented exported type: no finding.
+type Node struct {
+	// ID needs no comment: struct fields are the type doc's job.
+	ID int
+}
+
+// Size reports the documented-method happy path.
+func (n *Node) Size() int { return 1 }
+
+func (n *Node) Depth() int { return 0 } // want `exported method Depth lacks a doc comment`
+
+// The first word is "Builds", not "Grow": godoc renders this as prose
+// that never names the symbol.
+func (n *Node) Grow() {} // want `doc comment for method Grow should start with "Grow", not "The"`
+
+type Edge struct{} // want `exported type Edge lacks a doc comment`
+
+// helper is unexported: never checked.
+func helper() {}
+
+// method of an unexported type: godoc hides it, no finding.
+type internalSet struct{}
+
+func (internalSet) Add() {}
+
+// MaxDepth bounds lattice construction (single var, keyword comment).
+var MaxDepth = 16
+
+var DefaultFanout = 4 // want `exported var DefaultFanout lacks a doc comment`
+
+// Profile-lattice tuning knobs: a documented group waives the
+// per-name first-word rule.
+const (
+	MinFanout = 2
+	// MaxFanout has its own comment too; still fine.
+	MaxFanout = 8
+)
+
+const (
+	UnitCap = 1 // want `exported const UnitCap lacks a doc comment`
+)
+
+// Build is documented, so the unexported helper it calls stays silent.
+func Build(n int) *Node {
+	helper()
+	_ = internalSet{}
+	return &Node{ID: n}
+}

@@ -21,6 +21,9 @@ type Divergence struct {
 	ScoreDelta float64
 }
 
+// String renders the divergence for the prvm-replay diff report: the
+// decision index, the affected VM, and the two sides' PM choices with
+// full-precision scores (one-sided when a stream ended early).
 func (d Divergence) String() string {
 	switch {
 	case d.A == nil:

@@ -81,11 +81,12 @@ func (r *Reader) Header() Header {
 	return r.hdr
 }
 
-// Entry is one post-header line: exactly one of Decision or Span is
-// non-nil.
+// Entry is one post-header line: exactly one of Decision, Span or Op
+// is non-nil.
 type Entry struct {
 	Decision *Decision
 	Span     *Span
+	Op       *Op
 }
 
 // Next returns the next entry, or io.EOF at the end of the stream.
@@ -124,6 +125,12 @@ func (r *Reader) Next() (Entry, error) {
 				return Entry{}, fmt.Errorf("record: line %d: %w", r.line, err)
 			}
 			return Entry{Span: &s}, nil
+		case lineOp:
+			var o Op
+			if err := json.Unmarshal(raw, &o); err != nil {
+				return Entry{}, fmt.Errorf("record: line %d: %w", r.line, err)
+			}
+			return Entry{Op: &o}, nil
 		default:
 			// Unknown line types are skipped, not fatal: future
 			// versions may add record kinds without breaking old

@@ -35,8 +35,9 @@ type Recorder struct {
 	collect   bool
 	decisions []Decision
 	spans     []Span
+	ops       []Op
 
-	ndec, nspan int64
+	ndec, nspan, nop int64
 }
 
 // decisionLine / spanLine add the "t" discriminator to a record
@@ -181,6 +182,81 @@ func (r *Recorder) Counts() (decisions, spans int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.ndec, r.nspan
+}
+
+// NextSeq returns the sequence number the next recorded entry will be
+// assigned. The serve daemon reads it under quiesced shards to stamp a
+// snapshot cut: every op with a smaller seq is reflected in the
+// snapshot, every later one must be replayed on top.
+func (r *Recorder) NextSeq() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// SetNextSeq moves the sequence counter so the next entry is assigned
+// seq. It exists for WAL segment continuation — a rotated segment
+// starts numbering where its predecessor stopped, keeping the
+// recording-wide seq order global across segment files — and must only
+// be called before the first entry is recorded.
+func (r *Recorder) SetNextSeq(seq int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq = seq
+}
+
+// Flush pushes all buffered entries to the underlying writer. A
+// recorder buffers aggressively (64 KiB) for batch throughput; callers
+// with a durability barrier — the serve daemon acknowledging a batch
+// of placements — flush once per batch rather than per entry.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushLocked()
+}
+
+func (r *Recorder) flushLocked() error {
+	if r.bw != nil {
+		if err := r.bw.Flush(); err != nil && r.err == nil {
+			r.err = fmt.Errorf("record: flush: %w", err)
+		}
+	}
+	if r.gz != nil {
+		if err := r.gz.Flush(); err != nil && r.err == nil {
+			r.err = fmt.Errorf("record: flush gzip: %w", err)
+		}
+	}
+	return r.err
+}
+
+// Sync flushes and then forces the bytes to stable storage when the
+// recorder owns a file (Create); on a plain writer it degrades to
+// Flush. This is the fsync half of the WAL durability contract —
+// without it a flush only reaches the OS page cache.
+func (r *Recorder) Sync() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.flushLocked(); err != nil {
+		return err
+	}
+	if f, ok := r.closer.(*os.File); ok {
+		if err := f.Sync(); err != nil && r.err == nil {
+			r.err = fmt.Errorf("record: sync: %w", err)
+		}
+	}
+	return r.err
 }
 
 // Err returns the first write error, if any.

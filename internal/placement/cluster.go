@@ -240,6 +240,49 @@ func (c *Cluster) Retire(pm *PM) error {
 	return nil
 }
 
+// Reorder rebuilds the used and unused lists in the given PM-id orders.
+// It is the snapshot-restore hook of the serve daemon: Algorithm 2 scans
+// the used list in first-use order and opens unused PMs in list order,
+// so a recovered cluster must restore both orders — not just the same
+// membership — to keep post-recovery decisions bit-identical to an
+// uninterrupted run. Each argument must be a permutation of the
+// corresponding current list.
+func (c *Cluster) Reorder(usedIDs, unusedIDs []int) error {
+	used, err := c.permute(c.used, usedIDs, "used")
+	if err != nil {
+		return err
+	}
+	unused, err := c.permute(c.unused, unusedIDs, "unused")
+	if err != nil {
+		return err
+	}
+	c.used = used
+	c.unused = unused
+	return nil
+}
+
+// permute reorders list into the id order given by ids, verifying ids is
+// exactly a permutation of the list's members.
+func (c *Cluster) permute(list []*PM, ids []int, name string) ([]*PM, error) {
+	if len(ids) != len(list) {
+		return nil, fmt.Errorf("placement: reorder %s: %d ids for %d PMs", name, len(ids), len(list))
+	}
+	byID := make(map[int]*PM, len(list))
+	for _, pm := range list {
+		byID[pm.ID] = pm
+	}
+	out := make([]*PM, 0, len(ids))
+	for _, id := range ids {
+		pm, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("placement: reorder %s: pm %d not in list (or repeated)", name, id)
+		}
+		delete(byID, id)
+		out = append(out, pm)
+	}
+	return out, nil
+}
+
 func (c *Cluster) removeUnused(pm *PM) {
 	for i, p := range c.unused {
 		if p == pm {

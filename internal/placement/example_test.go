@@ -1,0 +1,57 @@
+package placement_test
+
+import (
+	"fmt"
+
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+)
+
+// The placement fast path end to end: build a rank table for the
+// paper's testbed shape (one cpu group, four cores of capacity four),
+// register it, and drive Algorithm 2. The placer scans used PMs in
+// first-use order, commits each VM to the accommodation with the
+// highest rank-table score (via the id-indexed fast path), and opens
+// an unused PM only when nothing used fits.
+func ExamplePageRankVM_Place() {
+	shape := resource.MustShape(resource.Group{Name: "cpu", Dims: 4, Cap: 4})
+	vmType := resource.NewVMType("[1,1]",
+		resource.Demand{Group: "cpu", Units: []int{1, 1}})
+
+	table, err := ranktable.NewJoint(shape, []resource.VMType{vmType}, ranktable.Options{})
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	reg := ranktable.NewRegistry()
+	reg.Add("small", table)
+
+	cluster := placement.NewCluster([]*placement.PM{
+		placement.NewPM(0, "small", shape),
+		placement.NewPM(1, "small", shape),
+	})
+	placer := placement.NewPageRankVM(reg, placement.WithSeed(1))
+
+	for id := 0; id < 3; id++ {
+		vm := &placement.VM{
+			ID:   id,
+			Type: "[1,1]",
+			Req:  map[string]resource.VMType{"small": vmType},
+		}
+		pm, assign, err := placer.Place(cluster, vm, nil)
+		if err != nil {
+			fmt.Println("place:", err)
+			return
+		}
+		if err := cluster.Host(pm, vm, assign); err != nil {
+			fmt.Println("host:", err)
+			return
+		}
+		fmt.Printf("vm %d -> pm %d (used PMs: %d)\n", id, pm.ID, cluster.NumUsed())
+	}
+	// Output:
+	// vm 0 -> pm 0 (used PMs: 1)
+	// vm 1 -> pm 0 (used PMs: 1)
+	// vm 2 -> pm 0 (used PMs: 1)
+}

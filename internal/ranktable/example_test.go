@@ -1,0 +1,42 @@
+package ranktable_test
+
+import (
+	"fmt"
+
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+)
+
+// Heterogeneous fleets repeat shape geometry across PM types (Amazon's
+// M3 and C3 share the cpu and disk group layout), so registry builds
+// ask for identical tables more than once. A shared Cache builds each
+// distinct (shape, VM-type set, options) table exactly once; the
+// second request is a pointer-identical hit.
+func ExampleCache() {
+	shape := resource.MustShape(resource.Group{Name: "cpu", Dims: 4, Cap: 4})
+	vmTypes := []resource.VMType{
+		resource.NewVMType("[1,1]", resource.Demand{Group: "cpu", Units: []int{1, 1}}),
+		resource.NewVMType("[2]", resource.Demand{Group: "cpu", Units: []int{2}}),
+	}
+
+	cache := ranktable.NewCache(0, nil) // 0 = default eviction bound
+	opts := ranktable.Options{Cache: cache}
+
+	a, err := ranktable.NewJoint(shape, vmTypes, opts)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	b, err := ranktable.NewJoint(shape, vmTypes, opts)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+
+	st := cache.Stats()
+	fmt.Println("same table:", a == b)
+	fmt.Printf("hits=%d misses=%d entries=%d\n", st.Hits, st.Misses, st.Entries)
+	// Output:
+	// same table: true
+	// hits=1 misses=1 entries=1
+}

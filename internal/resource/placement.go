@@ -106,11 +106,18 @@ func Placements(s *Shape, p Vec, vm VMType) []Placement {
 	return results
 }
 
-// Fits reports whether vm can be placed onto profile p at all. It runs
-// the cheap greedy check per group: sort per-unit demands descending
-// and match them against the group's dimensions sorted by descending
-// headroom; by an exchange argument this succeeds iff any
-// anti-collocating assignment exists.
+// Fits reports whether vm can be placed onto profile p at all. Per
+// group it checks Hall's condition over threshold sets: with the
+// per-unit demands sorted descending (NewVMType guarantees this), an
+// anti-collocating assignment exists iff for every i the group has at
+// least i dimensions whose headroom covers the i-th largest demand —
+// the counting form of the classic exchange argument (match demands
+// against dimensions by descending headroom). Counting instead of
+// sorting keeps this allocation-free: Fits is the per-candidate
+// feasibility gate of every placement scan, called O(used PMs) times
+// per decision.
+//
+//prvm:hotpath
 func Fits(s *Shape, p Vec, vm VMType) bool {
 	for _, d := range vm.Demands {
 		gi := s.GroupIndex(d.Group)
@@ -122,13 +129,17 @@ func Fits(s *Shape, p Vec, vm VMType) bool {
 		if len(d.Units) > hi-lo {
 			return false
 		}
-		headroom := make([]int, 0, hi-lo)
-		for dim := lo; dim < hi; dim++ {
-			headroom = append(headroom, capUnits-p[dim])
-		}
-		sort.Sort(sort.Reverse(sort.IntSlice(headroom)))
-		for i, u := range d.Units { // units already sorted descending
-			if headroom[i] < u {
+		for i, u := range d.Units { // units sorted descending
+			n := 0
+			for dim := lo; dim < hi; dim++ {
+				if capUnits-p[dim] >= u {
+					n++
+					if n > i {
+						break
+					}
+				}
+			}
+			if n <= i {
 				return false
 			}
 		}

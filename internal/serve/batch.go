@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"errors"
+	"time"
+
+	"pagerankvm/internal/obs/record"
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/resource"
+)
+
+// Sentinel errors surfaced by the admission path; http.go maps them to
+// status codes.
+var (
+	// errShutdown: the server is stopping; the request was not applied.
+	errShutdown = errors.New("serve: shutting down")
+	// errOverloaded: every shard's admission queue was full.
+	errOverloaded = errors.New("serve: admission queues full")
+	// errWALFailed: the WAL could not be made durable; the server is
+	// degraded and refuses mutations (state may be ahead of the log).
+	errWALFailed = errors.New("serve: wal write failed")
+)
+
+// placeReq is one queued placement: the VM to place, eviction context,
+// forwarding state, and the waiter's reply channel.
+type placeReq struct {
+	vm *placement.VM
+	// exclude bars a PM from being chosen — the eviction source during
+	// a re-place. Pointer identity; PMs of other shards never collide.
+	exclude *placement.PM
+	// home is the shard the request was first offered to; tried counts
+	// shards attempted, for capacity forwarding.
+	home  int
+	tried int
+	// enq stamps admission for the serve.place_seconds histogram.
+	enq time.Time
+	// done receives exactly one result (buffered: the batcher never
+	// blocks on a waiter).
+	done chan placeResult
+}
+
+// placeResult is the outcome of a placeReq.
+type placeResult struct {
+	pmID   int
+	pmType string
+	assign resource.Assignment
+	score  float64
+	opened bool
+	dup    bool
+	seq    int64
+	err    error
+}
+
+// batcher drains one shard's admission queue: it blocks for the first
+// request, then admits up to BatchMax requests or BatchWait of arrival
+// time, whichever ends first, and commits the batch in one critical
+// section. One batcher goroutine per shard, stopped by s.stop.
+func (s *Server) batcher(sh *shard, stop <-chan struct{}) {
+	defer s.wg.Done()
+	for {
+		var first *placeReq
+		select {
+		case first = <-sh.queue:
+		case <-stop:
+			s.drainQueue(sh)
+			return
+		}
+		batch := s.collectBatch(sh, first, stop)
+		s.commitBatch(sh, batch)
+		select {
+		case <-stop:
+			s.drainQueue(sh)
+			return
+		default:
+		}
+	}
+}
+
+// collectBatch assembles one batch starting from first. The default
+// (BatchWait == 0) is greedy group commit: take everything already
+// queued and go — requests arriving during the previous commit form the
+// next batch, so batching scales with load and adds zero idle latency.
+// A positive BatchWait instead holds the batch open for that window
+// (worth it only when the WAL is fsync-bound and the commit itself is
+// cheap relative to the sync).
+func (s *Server) collectBatch(sh *shard, first *placeReq, stop <-chan struct{}) []*placeReq {
+	batch := []*placeReq{first}
+	if s.cfg.BatchWait <= 0 {
+		for len(batch) < s.cfg.BatchMax {
+			select {
+			case r := <-sh.queue:
+				batch = append(batch, r)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.BatchWait)
+	defer timer.Stop()
+	for len(batch) < s.cfg.BatchMax {
+		select {
+		case r := <-sh.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-stop:
+			return batch // commit what was admitted, then exit
+		}
+	}
+	return batch
+}
+
+// drainQueue answers every queued request with a shutdown error.
+// Waiters also select on s.stop, so this is belt and braces for
+// requests enqueued concurrently with shutdown.
+func (s *Server) drainQueue(sh *shard) {
+	for {
+		select {
+		case r := <-sh.queue:
+			r.done <- placeResult{err: errShutdown}
+		default:
+			return
+		}
+	}
+}
+
+// commitBatch applies a batch under the shard lock — the admission
+// batching that amortizes one lock acquisition and one WAL flush over
+// many placements — then flushes the WAL once and answers the waiters.
+// No-capacity requests are forwarded to the next shard after the
+// critical section.
+func (s *Server) commitBatch(sh *shard, batch []*placeReq) {
+	s.met.batchSize.Observe(float64(len(batch)))
+	results := make([]placeResult, len(batch))
+	wrote := false
+
+	nops := int64(0)
+	sh.mu.Lock()
+	for i, req := range batch {
+		results[i] = s.placeLocked(sh, req)
+		if results[i].err == nil && !results[i].dup {
+			wrote = true
+			nops++
+		}
+	}
+	sh.mu.Unlock()
+
+	var flushErr error
+	if wrote {
+		flushErr = s.wal.flush()
+		if flushErr != nil {
+			s.walBroken.Store(true)
+			s.met.walErrors.Inc()
+		} else {
+			s.noteOps(nops)
+		}
+	}
+
+	for i, req := range batch {
+		res := results[i]
+		if flushErr != nil && res.err == nil && !res.dup {
+			// The op may not be durable; do not acknowledge it.
+			res = placeResult{err: errWALFailed}
+		}
+		if errors.Is(res.err, placement.ErrNoCapacity) && req.tried < len(s.shards) {
+			s.met.forwards.Inc()
+			s.forward(req)
+			continue
+		}
+		req.done <- res
+	}
+}
+
+// placeLocked handles one request under sh.mu: duplicate check, placer
+// decision, cluster commit, WAL append. The append happens inside the
+// critical section so the WAL's per-PM op order always equals the apply
+// order — the invariant replay relies on.
+func (s *Server) placeLocked(sh *shard, req *placeReq) placeResult {
+	if e, ok := s.loc.Load(req.vm.ID); ok {
+		le := e.(locEntry)
+		s.met.placeDups.Inc()
+		return placeResult{dup: true, pmID: le.pm, seq: -1}
+	}
+	pm, assign, err := sh.placer.Place(sh.cluster, req.vm, req.exclude)
+	if err != nil {
+		return placeResult{err: err}
+	}
+	opened := !pm.Active()
+	var score float64
+	if !opened {
+		// The winning accommodation score; a PM opened from the unused
+		// list scores 0 by convention (no candidate beat it).
+		score, _ = sh.placer.ScoreOn(pm, req.vm)
+	}
+	if err := sh.cluster.Host(pm, req.vm, assign); err != nil {
+		return placeResult{err: err}
+	}
+	s.loc.Store(req.vm.ID, locEntry{shard: sh.idx, pm: pm.ID})
+	seq := s.wal.appendOp(record.Op{
+		Kind:   record.OpPlace,
+		VM:     req.vm.ID,
+		VMType: req.vm.Type,
+		PM:     pm.ID,
+		PMType: pm.Type,
+		Assign: toOpAssign(assign),
+		Score:  score,
+		Opened: opened,
+	})
+	return placeResult{
+		pmID:   pm.ID,
+		pmType: pm.Type,
+		assign: assign,
+		score:  score,
+		opened: opened,
+		seq:    seq,
+	}
+}
+
+// forward offers a no-capacity request to the next shard in the ring.
+// When every shard has been tried, the request is rejected with
+// ErrNoCapacity; a full target queue rejects with errOverloaded rather
+// than blocking the batcher.
+func (s *Server) forward(req *placeReq) {
+	req.tried++
+	if req.tried >= len(s.shards) {
+		s.met.placeRejs.Inc()
+		req.done <- placeResult{err: placement.ErrNoCapacity}
+		return
+	}
+	next := s.shards[(req.home+req.tried)%len(s.shards)]
+	select {
+	case next.queue <- req:
+	default:
+		req.done <- placeResult{err: errOverloaded}
+	}
+}
+
+// submitPlace enqueues a placement on its home shard and waits for the
+// result (or shutdown).
+func (s *Server) submitPlace(vm *placement.VM, exclude *placement.PM) placeResult {
+	req := &placeReq{
+		vm:      vm,
+		exclude: exclude,
+		home:    s.vmShard(vm.ID),
+		enq:     time.Now(),
+		done:    make(chan placeResult, 1),
+	}
+	select {
+	case s.shards[req.home].queue <- req:
+	case <-s.stop:
+		return placeResult{err: errShutdown}
+	}
+	select {
+	case res := <-req.done:
+		s.met.placeSecs.Observe(time.Since(req.enq).Seconds())
+		return res
+	case <-s.stop:
+		return placeResult{err: errShutdown}
+	}
+}

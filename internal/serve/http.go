@@ -1,0 +1,469 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"pagerankvm/internal/obs"
+	"pagerankvm/internal/obs/record"
+	"pagerankvm/internal/placement"
+)
+
+// PlaceRequest is the body of POST /v1/place: place one instance of a
+// catalog VM type.
+type PlaceRequest struct {
+	// VM is the caller-chosen instance id — the idempotency key. A
+	// repeated id returns the existing placement with Duplicate set.
+	VM int `json:"vm"`
+	// Type is the catalog VM type name (e.g. "m3.large").
+	Type string `json:"type"`
+}
+
+// PlaceResponse is the body of a successful POST /v1/place.
+type PlaceResponse struct {
+	// VM echoes the request id.
+	VM int `json:"vm"`
+	// PM is the hosting PM id.
+	PM int `json:"pm"`
+	// PMType is the hosting PM's catalog type (empty on duplicates).
+	PMType string `json:"pm_type,omitempty"`
+	// Score is the winning accommodation score (0 when a PM was opened).
+	Score float64 `json:"score"`
+	// Opened marks that the placement powered on an unused PM.
+	Opened bool `json:"opened,omitempty"`
+	// Duplicate marks an idempotent replay: the VM was already placed
+	// and no new decision was made. Seq is -1.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Seq is the WAL sequence number of the committed op; the response
+	// is sent only after the op is durable (see API.md).
+	Seq int64 `json:"seq"`
+	// Assign is the concrete anti-collocation assignment.
+	Assign []record.OpAssign `json:"assign,omitempty"`
+}
+
+// ReleaseRequest is the body of POST /v1/release.
+type ReleaseRequest struct {
+	// VM is the instance id to release.
+	VM int `json:"vm"`
+}
+
+// ReleaseResponse is the body of a successful POST /v1/release.
+type ReleaseResponse struct {
+	// VM echoes the request id; PM is the host it was released from.
+	VM int `json:"vm"`
+	PM int `json:"pm"`
+	// Seq is the WAL sequence number of the release op.
+	Seq int64 `json:"seq"`
+}
+
+// EvictRequest is the body of POST /v1/evict: migrate one VM off a PM.
+type EvictRequest struct {
+	// PM is the overloaded source PM.
+	PM int `json:"pm"`
+	// VM optionally names the victim; when nil the rank evictor picks
+	// the hosted VM whose removal most improves the source PM's rank.
+	VM *int `json:"vm,omitempty"`
+}
+
+// EvictResponse is the body of a successful POST /v1/evict.
+type EvictResponse struct {
+	// VM is the migrated victim; From and To are source and destination
+	// PMs.
+	VM   int `json:"vm"`
+	From int `json:"from"`
+	To   int `json:"to"`
+	// Seq is the WAL sequence number of the re-place op (the release op
+	// precedes it).
+	Seq int64 `json:"seq"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	// Code is a stable machine-readable cause (see API.md's table).
+	Code string `json:"code"`
+	// Error is a human-readable message.
+	Error string `json:"error"`
+}
+
+// ClusterResponse is the body of GET /v1/cluster.
+type ClusterResponse struct {
+	// Shards reports per-shard state.
+	Shards []ShardStatus `json:"shards"`
+	// PMs, UsedPMs and VMs aggregate over shards; MaxUsed sums the
+	// per-shard high-water marks.
+	PMs     int `json:"pms"`
+	UsedPMs int `json:"used_pms"`
+	VMs     int `json:"vms"`
+	MaxUsed int `json:"max_used"`
+	// NextSeq is the next WAL sequence number.
+	NextSeq int64 `json:"next_seq"`
+	// Placements lists vm->pm pairs (ascending vm id) when the request
+	// asked for ?vms=1.
+	Placements []VMStatus `json:"placements,omitempty"`
+}
+
+// ShardStatus is one shard's row in ClusterResponse.
+type ShardStatus struct {
+	Shard   int `json:"shard"`
+	PMs     int `json:"pms"`
+	Used    int `json:"used"`
+	VMs     int `json:"vms"`
+	MaxUsed int `json:"max_used"`
+}
+
+// VMStatus is one placed VM in ClusterResponse.Placements.
+type VMStatus struct {
+	VM int `json:"vm"`
+	PM int `json:"pm"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	// Status is "ok", or "degraded" after a WAL write failure (the
+	// server refuses mutations until restarted).
+	Status string `json:"status"`
+	// NextSeq is the next WAL sequence number.
+	NextSeq int64 `json:"next_seq"`
+	// Recovery summarizes what startup reconstructed.
+	Recovery RecoveryInfo `json:"recovery"`
+}
+
+// routes wires the API and the in-process observability endpoints.
+func (s *Server) routes() {
+	s.mux.HandleFunc("/v1/place", s.handlePlace)
+	s.mux.HandleFunc("/v1/release", s.handleRelease)
+	s.mux.HandleFunc("/v1/evict", s.handleEvict)
+	s.mux.HandleFunc("/v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.cfg.Obs != nil {
+		oh := obs.Handler(s.cfg.Obs, s.cfg.Sink)
+		s.mux.Handle("/metrics", oh)
+		s.mux.Handle("/metrics.json", oh)
+		s.mux.Handle("/events", oh)
+		s.mux.Handle("/debug/", oh)
+	}
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v) // the client is gone if this fails
+}
+
+// writeError maps an error to the API's stable error codes.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorResponse{Code: code, Error: err.Error()})
+}
+
+// decodeBody decodes a JSON request body, rejecting unknown fields so
+// client typos fail loudly.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decode body: %w", err))
+		return false
+	}
+	return true
+}
+
+// checkMutable gates mutating handlers: POST only, not shutting down,
+// WAL healthy.
+func (s *Server) checkMutable(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", errors.New("POST required"))
+		return false
+	}
+	select {
+	case <-s.stop:
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", errShutdown)
+		return false
+	default:
+	}
+	if s.walBroken.Load() {
+		writeError(w, http.StatusServiceUnavailable, "wal_failed", errWALFailed)
+		return false
+	}
+	return true
+}
+
+// handlePlace serves POST /v1/place.
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.met.requestSecs.Observe(time.Since(start).Seconds()) }()
+	if !s.checkMutable(w, r) {
+		return
+	}
+	var req PlaceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.met.placeReqs.Inc()
+	vm, err := s.cfg.NewVM(req.VM, req.Type)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "unknown_type", err)
+		return
+	}
+	res := s.submitPlace(vm, nil)
+	if res.err != nil {
+		s.writePlaceError(w, res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PlaceResponse{
+		VM:        req.VM,
+		PM:        res.pmID,
+		PMType:    res.pmType,
+		Score:     res.score,
+		Opened:    res.opened,
+		Duplicate: res.dup,
+		Seq:       res.seq,
+		Assign:    toOpAssign(res.assign),
+	})
+}
+
+// writePlaceError maps admission-path errors to status codes.
+func (s *Server) writePlaceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, placement.ErrNoCapacity):
+		writeError(w, http.StatusConflict, "no_capacity", err)
+	case errors.Is(err, errOverloaded):
+		writeError(w, http.StatusServiceUnavailable, "overloaded", err)
+	case errors.Is(err, errShutdown):
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", err)
+	case errors.Is(err, errWALFailed):
+		writeError(w, http.StatusServiceUnavailable, "wal_failed", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err)
+	}
+}
+
+// handleRelease serves POST /v1/release. Releases bypass the batcher:
+// they never forward, so one shard lock plus a flush is the whole
+// transaction.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.met.requestSecs.Observe(time.Since(start).Seconds()) }()
+	if !s.checkMutable(w, r) {
+		return
+	}
+	var req ReleaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.met.releaseReqs.Inc()
+	pmID, seq, err := s.release(req.VM)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_placed", err)
+		return
+	}
+	if err := s.wal.flush(); err != nil {
+		s.walBroken.Store(true)
+		s.met.walErrors.Inc()
+		writeError(w, http.StatusServiceUnavailable, "wal_failed", errWALFailed)
+		return
+	}
+	s.noteOps(1)
+	writeJSON(w, http.StatusOK, ReleaseResponse{VM: req.VM, PM: pmID, Seq: seq})
+}
+
+// release removes a VM under its host shard's lock and appends the
+// release op. The caller flushes.
+func (s *Server) release(vmID int) (pmID int, seq int64, err error) {
+	e, ok := s.loc.Load(vmID)
+	if !ok {
+		return 0, 0, fmt.Errorf("serve: vm %d not placed", vmID)
+	}
+	le := e.(locEntry)
+	sh := s.shards[le.shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	h, err := sh.cluster.Release(vmID)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.loc.Delete(vmID)
+	seq = s.wal.appendOp(record.Op{
+		Kind:   record.OpRelease,
+		VM:     vmID,
+		VMType: h.VM.Type,
+		PM:     le.pm,
+	})
+	return le.pm, seq, nil
+}
+
+// handleEvict serves POST /v1/evict: release a victim from the source
+// PM (rank-evictor choice unless the request names one), then re-place
+// it anywhere else through the normal admission path. The WAL records
+// the migration as a release op followed by a place op; if re-placement
+// fails the victim is restored to its source with a compensating place
+// op, so the log never ends mid-migration in an unexplained state.
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.met.requestSecs.Observe(time.Since(start).Seconds()) }()
+	if !s.checkMutable(w, r) {
+		return
+	}
+	var req EvictRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.met.evictReqs.Inc()
+
+	sh := s.shards[s.pmShard(req.PM)]
+	pm, ok := sh.pms[req.PM]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_pm", fmt.Errorf("serve: pm %d not in inventory", req.PM))
+		return
+	}
+
+	victim, hosted, err := s.evictVictim(sh, pm, req.VM)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "no_victim", err)
+		return
+	}
+	if err := s.wal.flush(); err != nil {
+		s.walBroken.Store(true)
+		s.met.walErrors.Inc()
+		writeError(w, http.StatusServiceUnavailable, "wal_failed", errWALFailed)
+		return
+	}
+	s.noteOps(1)
+
+	res := s.submitPlace(hosted.VM, pm)
+	if res.err != nil {
+		// Compensate: put the victim back with its original assignment.
+		if rerr := s.restore(sh, pm, hosted); rerr != nil {
+			writeError(w, http.StatusInternalServerError, "internal",
+				fmt.Errorf("re-place failed (%v) and restore failed: %w", res.err, rerr))
+			return
+		}
+		writeError(w, http.StatusConflict, "no_capacity",
+			fmt.Errorf("serve: no destination for vm %d; restored to pm %d", victim, pm.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, EvictResponse{VM: victim, From: pm.ID, To: res.pmID, Seq: res.seq})
+}
+
+// evictVictim picks (or validates) the victim and releases it from the
+// source PM under the shard lock, appending the release op.
+func (s *Server) evictVictim(sh *shard, pm *placement.PM, want *int) (int, placement.Hosted, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	victim := -1
+	if want != nil {
+		if _, ok := pm.VMs()[*want]; !ok {
+			return 0, placement.Hosted{}, fmt.Errorf("serve: vm %d not on pm %d", *want, pm.ID)
+		}
+		victim = *want
+	} else {
+		// All dimensions count as overloaded: pick the hosted VM whose
+		// removal most improves the source PM's rank.
+		dims := make([]int, pm.Shape.NumDims())
+		for i := range dims {
+			dims[i] = i
+		}
+		ev := placement.RankEvictor{Placer: sh.placer}
+		id, ok := ev.SelectVictim(pm, dims)
+		if !ok {
+			return 0, placement.Hosted{}, fmt.Errorf("serve: pm %d hosts no evictable VM", pm.ID)
+		}
+		victim = id
+	}
+	h, err := sh.cluster.Release(victim)
+	if err != nil {
+		return 0, placement.Hosted{}, err
+	}
+	s.loc.Delete(victim)
+	s.wal.appendOp(record.Op{
+		Kind:   record.OpRelease,
+		VM:     victim,
+		VMType: h.VM.Type,
+		PM:     pm.ID,
+	})
+	return victim, h, nil
+}
+
+// restore re-hosts an evicted VM on its source PM with its original
+// assignment after a failed re-placement, logging the compensating
+// place op.
+func (s *Server) restore(sh *shard, pm *placement.PM, h placement.Hosted) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.cluster.Host(pm, h.VM, h.Assign); err != nil {
+		return err
+	}
+	s.loc.Store(h.VM.ID, locEntry{shard: sh.idx, pm: pm.ID})
+	s.wal.appendOp(record.Op{
+		Kind:   record.OpPlace,
+		VM:     h.VM.ID,
+		VMType: h.VM.Type,
+		PM:     pm.ID,
+		PMType: pm.Type,
+		Assign: toOpAssign(h.Assign),
+	})
+	// Flushing under the shard lock follows the shard.mu -> wal.mu lock
+	// order; the compensating op must be durable before we answer.
+	if err := s.wal.flush(); err != nil {
+		s.walBroken.Store(true)
+		s.met.walErrors.Inc()
+		return err
+	}
+	return nil
+}
+
+// handleCluster serves GET /v1/cluster.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", errors.New("GET required"))
+		return
+	}
+	resp := ClusterResponse{NextSeq: s.wal.nextSeq()}
+	wantVMs := r.URL.Query().Get("vms") == "1"
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st := ShardStatus{
+			Shard:   sh.idx,
+			PMs:     len(sh.cluster.PMs()),
+			Used:    sh.cluster.NumUsed(),
+			VMs:     sh.cluster.NumVMs(),
+			MaxUsed: sh.cluster.MaxUsed,
+		}
+		if wantVMs {
+			for _, pm := range sh.cluster.UsedPMs() {
+				for _, vmID := range sortedVMIDs(pm) {
+					resp.Placements = append(resp.Placements, VMStatus{VM: vmID, PM: pm.ID})
+				}
+			}
+		}
+		sh.mu.Unlock()
+		resp.Shards = append(resp.Shards, st)
+		resp.PMs += st.PMs
+		resp.UsedPMs += st.Used
+		resp.VMs += st.VMs
+		resp.MaxUsed += st.MaxUsed
+	}
+	if wantVMs {
+		sort.Slice(resp.Placements, func(i, j int) bool { return resp.Placements[i].VM < resp.Placements[j].VM })
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.walBroken.Load() {
+		status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthResponse{
+		Status:   status,
+		NextSeq:  s.wal.nextSeq(),
+		Recovery: s.recovered,
+	})
+}

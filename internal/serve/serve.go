@@ -1,0 +1,428 @@
+// Package serve turns the placement library into a long-running
+// placement-as-a-service daemon: an HTTP/JSON API over sharded cluster
+// state with write-ahead-log durability and snapshot-based crash
+// recovery (DESIGN.md §14, API.md).
+//
+// Concurrency model. The placement types (placement.Cluster,
+// placement.PageRankVM) are single-threaded by design; the daemon gets
+// parallelism by partitioning the PM inventory into shards keyed by a
+// hash of the PM id, each shard owning an independent cluster, placer
+// and mutex. Placement requests are routed to a home shard by VM-id
+// hash, admitted through a per-shard batcher that drains the queue
+// through the fast path in one critical section, and forwarded to the
+// next shard when the home shard has no capacity.
+//
+// Durability model. Every accepted mutation is appended to a WAL — an
+// ordinary internal/obs/record recording whose entries are record.Op
+// lines — under the owning shard's lock, so per-PM WAL order equals
+// apply order. A request is acknowledged only after the batch's ops are
+// flushed (and fsynced when configured). Periodic snapshots bound
+// replay time; recovery loads the newest snapshot and replays the WAL
+// tail, reconstructing bit-identical cluster state including the
+// used/unused list orders Algorithm 2 is sensitive to.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pagerankvm/internal/obs"
+	"pagerankvm/internal/obs/record"
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+)
+
+// Config parameterizes a Server. Rankers, PMs and NewVM are required;
+// zero values elsewhere select the documented defaults.
+type Config struct {
+	// Rankers resolves a PM type to its rank table (shared, read-only;
+	// ranktable rankers are safe for concurrent readers).
+	Rankers *ranktable.Registry
+	// PMs is the PM inventory. Inventory order is preserved per shard:
+	// shard i's cluster sees its PMs in the order they appear here.
+	PMs []*placement.PM
+	// NewVM materializes a placement request for a VM instance of a
+	// catalog type — typically experiments.Catalog.NewVM. It is called
+	// on the request path and during recovery, and must be safe for
+	// concurrent use.
+	NewVM func(id int, vmType string) (*placement.VM, error)
+	// Shards is the number of state shards (default 4).
+	Shards int
+	// Seed seeds each shard's placer rng (tie-breaking); shard i uses
+	// Seed+i. Default 1.
+	Seed int64
+	// DataDir enables durability: WAL segments and snapshots live here.
+	// Empty means in-memory only (no WAL, no recovery), in which case
+	// acknowledged seqs are still assigned but nothing is persisted.
+	DataDir string
+	// Fsync forces an fsync after every batch flush. Off by default:
+	// the default barrier is a buffered flush to the OS page cache,
+	// which survives process crashes but not machine crashes.
+	Fsync bool
+	// BatchMax bounds how many queued placements one critical section
+	// admits (default 64).
+	BatchMax int
+	// BatchWait holds a batch open for a timed window after the first
+	// request arrives. The default (0) is greedy group commit: a batch
+	// is whatever has queued up by the time the previous commit
+	// finished, which adds no idle latency and still batches under
+	// load. Set a positive window only when an fsync-bound WAL makes
+	// larger batches worth the wait.
+	BatchWait time.Duration
+	// QueueDepth is the per-shard admission queue capacity (default
+	// 1024). A full queue rejects with 503.
+	QueueDepth int
+	// SnapshotEvery triggers a snapshot after that many WAL ops
+	// (default 65536; 0 keeps the default, negative disables periodic
+	// snapshots — a final snapshot is still cut on graceful Close).
+	SnapshotEvery int64
+	// Obs receives the daemon's metrics; nil disables instrumentation.
+	Obs *obs.Observer
+	// Sink, when non-nil, backs the /events endpoint.
+	Sink *obs.RingSink
+}
+
+// locEntry is the global VM directory value: which shard and PM host a
+// placed VM. It exists so duplicate detection and release routing never
+// need to lock a shard just to find out where a VM lives.
+type locEntry struct {
+	shard int
+	pm    int
+}
+
+// shard is one partition of the datacenter: a cluster over a subset of
+// the PM inventory, a dedicated placer (placer binding caches and rngs
+// are not concurrency-safe), and the admission queue its batcher
+// drains. All cluster and placer access happens under mu.
+type shard struct {
+	idx     int
+	mu      sync.Mutex
+	cluster *placement.Cluster
+	placer  *placement.PageRankVM
+	pms     map[int]*placement.PM // by PM id, for replay and evict routing
+	queue   chan *placeReq
+}
+
+// serveMetrics bundles the daemon's obs instruments.
+type serveMetrics struct {
+	placeReqs   *obs.Counter
+	placeDups   *obs.Counter
+	placeRejs   *obs.Counter
+	releaseReqs *obs.Counter
+	evictReqs   *obs.Counter
+	forwards    *obs.Counter
+	walErrors   *obs.Counter
+	snapshots   *obs.Counter
+	batchSize   *obs.Histogram
+	placeSecs   *obs.Histogram
+	requestSecs *obs.Histogram
+}
+
+// Server is the placement daemon: sharded cluster state, a WAL, and an
+// http.Handler exposing the v1 API. Create one with New, serve it with
+// net/http, stop it with Close (graceful: final snapshot) or Kill
+// (crash simulation: no snapshot, WAL is the only truth).
+type Server struct {
+	cfg    Config
+	shards []*shard
+	loc    sync.Map // vm id (int) -> locEntry
+	wal    *wal
+	mux    *http.ServeMux
+	met    serveMetrics
+
+	stop      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+	walBroken atomic.Bool
+
+	snapInFlight atomic.Bool
+	opsSinceSnap atomic.Int64
+	snapCh       chan struct{}
+
+	recovered RecoveryInfo
+}
+
+// RecoveryInfo summarizes what New reconstructed from DataDir.
+type RecoveryInfo struct {
+	// SnapshotSeq is the seq the loaded snapshot was cut at (0 when no
+	// snapshot existed).
+	SnapshotSeq int64 `json:"snapshot_seq"`
+	// ReplayedOps counts WAL ops applied on top of the snapshot.
+	ReplayedOps int `json:"replayed_ops"`
+	// NextSeq is the first seq the recovered server will assign.
+	NextSeq int64 `json:"next_seq"`
+	// VMs is the number of placed VMs after recovery.
+	VMs int `json:"vms"`
+	// Truncated reports that the final WAL segment ended in a torn line
+	// (a crash mid-write); the torn suffix was discarded. Torn entries
+	// were never acknowledged — the flush barrier acknowledges only
+	// fully written ops — so discarding them is correct, not lossy.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// New builds a Server: partitions the inventory into shards, recovers
+// state from cfg.DataDir when set (snapshot + WAL tail replay), opens a
+// fresh WAL segment, and starts the per-shard batchers.
+func New(cfg Config) (*Server, error) {
+	if cfg.Rankers == nil || cfg.NewVM == nil || len(cfg.PMs) == 0 {
+		return nil, fmt.Errorf("serve: Rankers, PMs and NewVM are required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 64
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 65536
+	}
+
+	s := &Server{cfg: cfg, stop: make(chan struct{}), snapCh: make(chan struct{}, 1)}
+	s.initMetrics(cfg.Obs)
+
+	// Partition the inventory. Within a shard, PMs keep inventory order
+	// — the unused-list order Algorithm 2's open step scans.
+	perShard := make([][]*placement.PM, cfg.Shards)
+	for _, pm := range cfg.PMs {
+		i := int(hashID(pm.ID) % uint32(cfg.Shards))
+		perShard[i] = append(perShard[i], pm)
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i, pms := range perShard {
+		sh := &shard{
+			idx:     i,
+			cluster: placement.NewCluster(pms),
+			placer: placement.NewPageRankVM(cfg.Rankers,
+				placement.WithSeed(cfg.Seed+int64(i)),
+				placement.WithObserver(cfg.Obs)),
+			pms:   make(map[int]*placement.PM, len(pms)),
+			queue: make(chan *placeReq, cfg.QueueDepth),
+		}
+		for _, pm := range pms {
+			sh.pms[pm.ID] = pm
+		}
+		s.shards[i] = sh
+	}
+
+	nextSeq := int64(0)
+	if cfg.DataDir != "" {
+		info, err := s.recover(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.recovered = info
+		nextSeq = info.NextSeq
+	}
+	w, err := openWAL(cfg.DataDir, nextSeq, cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+
+	s.mux = http.NewServeMux()
+	s.routes()
+
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go s.batcher(sh, s.stop)
+	}
+	if cfg.DataDir != "" && cfg.SnapshotEvery > 0 {
+		s.wg.Add(1)
+		go s.snapshotter(s.stop)
+	}
+	return s, nil
+}
+
+// snapshotter cuts a snapshot whenever the commit paths signal that
+// SnapshotEvery ops have accumulated since the last cut. Running it on
+// a dedicated goroutine keeps the (all-shard-quiescing) cut off the
+// batcher and handler paths.
+func (s *Server) snapshotter(stop <-chan struct{}) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.snapCh:
+			_ = s.Snapshot() // errors surface via serve.wal_errors / healthz on the next mutation
+		case <-stop:
+			return
+		}
+	}
+}
+
+// noteOps accumulates committed-op counts toward the periodic snapshot
+// trigger.
+func (s *Server) noteOps(n int64) {
+	if n <= 0 || s.cfg.DataDir == "" || s.cfg.SnapshotEvery <= 0 {
+		return
+	}
+	if s.opsSinceSnap.Add(n) >= s.cfg.SnapshotEvery {
+		select {
+		case s.snapCh <- struct{}{}:
+		default: // a cut is already pending
+		}
+	}
+}
+
+func (s *Server) initMetrics(o *obs.Observer) {
+	s.met = serveMetrics{
+		placeReqs:   o.Counter("serve.place_requests"),
+		placeDups:   o.Counter("serve.place_duplicates"),
+		placeRejs:   o.Counter("serve.place_rejected"),
+		releaseReqs: o.Counter("serve.release_requests"),
+		evictReqs:   o.Counter("serve.evict_requests"),
+		forwards:    o.Counter("serve.place_forwards"),
+		walErrors:   o.Counter("serve.wal_errors"),
+		snapshots:   o.Counter("serve.snapshots"),
+		batchSize:   o.Histogram("serve.batch_size", obs.LinearBuckets(1, 8, 16)),
+		placeSecs:   o.Histogram("serve.place_seconds", obs.DefSecondsBuckets()),
+		requestSecs: o.Histogram("serve.request_seconds", obs.DefSecondsBuckets()),
+	}
+}
+
+// Recovery returns what New reconstructed from the data directory (the
+// zero value for a fresh or in-memory server).
+func (s *Server) Recovery() RecoveryInfo { return s.recovered }
+
+// NextSeq returns the seq the next accepted op will be assigned.
+func (s *Server) NextSeq() int64 { return s.wal.nextSeq() }
+
+// NumShards returns the number of state shards the server runs.
+func (s *Server) NumShards() int { return len(s.shards) }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close shuts the server down gracefully: batchers drain, a final
+// snapshot is cut (when durable), and the WAL is closed.
+func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	var err error
+	if s.cfg.DataDir != "" && !s.walBroken.Load() {
+		err = s.Snapshot()
+	}
+	if cerr := s.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Kill stops the server abruptly, skipping the final snapshot: the WAL
+// alone must carry the state into the next startup. It exists for
+// crash-recovery testing.
+func (s *Server) Kill() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	_ = s.wal.close() // a torn tail is the scenario under test
+}
+
+// hashID spreads integer ids across shards (FNV-1a over the little-
+// endian bytes).
+func hashID(id int) uint32 {
+	h := uint32(2166136261)
+	v := uint64(id)
+	for i := 0; i < 8; i++ {
+		h ^= uint32(v & 0xff)
+		h *= 16777619
+		v >>= 8
+	}
+	return h
+}
+
+// pmShard returns the shard index owning a PM id.
+func (s *Server) pmShard(pmID int) int { return int(hashID(pmID) % uint32(len(s.shards))) }
+
+// vmShard returns a VM id's home shard — where its placement is tried
+// first.
+func (s *Server) vmShard(vmID int) int { return int(hashID(vmID) % uint32(len(s.shards))) }
+
+// toOpAssign converts a concrete assignment to its WAL encoding.
+func toOpAssign(a resource.Assignment) []record.OpAssign {
+	if len(a) == 0 {
+		return nil
+	}
+	out := make([]record.OpAssign, len(a))
+	for i, du := range a {
+		out[i] = record.OpAssign{Dim: du.Dim, Units: du.Units}
+	}
+	return out
+}
+
+// fromOpAssign converts a WAL assignment back to the placement form.
+func fromOpAssign(a []record.OpAssign) resource.Assignment {
+	if len(a) == 0 {
+		return nil
+	}
+	out := make(resource.Assignment, len(a))
+	for i, du := range a {
+		out[i] = resource.DimUnits{Dim: du.Dim, Units: du.Units}
+	}
+	return out
+}
+
+// applyOp applies one WAL op to the in-memory state. It is the replay
+// half of the durability contract: the live path records exactly what
+// it applied, this path applies exactly what was recorded. Callers
+// serialize (recovery is single-threaded).
+func (s *Server) applyOp(op record.Op) error {
+	switch op.Kind {
+	case record.OpPlace:
+		sh := s.shards[s.pmShard(op.PM)]
+		pm, ok := sh.pms[op.PM]
+		if !ok {
+			return fmt.Errorf("serve: replay seq %d: pm %d not in inventory", op.Seq, op.PM)
+		}
+		vm, err := s.cfg.NewVM(op.VM, op.VMType)
+		if err != nil {
+			return fmt.Errorf("serve: replay seq %d: %w", op.Seq, err)
+		}
+		if err := sh.cluster.Host(pm, vm, fromOpAssign(op.Assign)); err != nil {
+			return fmt.Errorf("serve: replay seq %d: %w", op.Seq, err)
+		}
+		s.loc.Store(op.VM, locEntry{shard: sh.idx, pm: pm.ID})
+	case record.OpRelease:
+		sh := s.shards[s.pmShard(op.PM)]
+		if _, err := sh.cluster.Release(op.VM); err != nil {
+			return fmt.Errorf("serve: replay seq %d: %w", op.Seq, err)
+		}
+		s.loc.Delete(op.VM)
+	default:
+		return fmt.Errorf("serve: replay seq %d: unknown op kind %q", op.Seq, op.Kind)
+	}
+	return nil
+}
+
+// numVMs counts placed VMs across shards (callers hold no locks; exact
+// only when quiesced).
+func (s *Server) numVMs() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.cluster.NumVMs()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// sortedVMIDs returns the ids of a PM's hosted VMs in ascending order —
+// the deterministic iteration order for snapshots and status listings.
+func sortedVMIDs(pm *placement.PM) []int {
+	vms := pm.VMs()
+	ids := make([]int, 0, len(vms))
+	for id := range vms {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

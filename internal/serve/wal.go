@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pagerankvm/internal/obs/record"
+)
+
+// walPrefix / walSuffix frame a segment file name: wal-<first seq,
+// 16 digits>.jsonl. Naming segments by their first seq makes the
+// snapshot cut a pure file-name comparison — every segment whose name
+// is < the snapshot seq is fully reflected in the snapshot.
+const (
+	walPrefix = "wal-"
+	walSuffix = ".jsonl"
+)
+
+// segmentName renders the file name of the segment starting at seq.
+func segmentName(seq int64) string {
+	return fmt.Sprintf("%s%016d%s", walPrefix, seq, walSuffix)
+}
+
+// segmentStart parses a segment file name back to its starting seq,
+// reporting whether name is a segment at all.
+func segmentStart(name string) (int64, bool) {
+	if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+		return 0, false
+	}
+	digits := strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix)
+	seq, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil || seq < 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listSegments returns the WAL segment file names in dir in ascending
+// start-seq order.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: list wal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := segmentStart(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // fixed-width digits: lexical order == seq order
+	return names, nil
+}
+
+// wal is the daemon's write-ahead log: one active record.Recorder
+// segment whose op lines carry the recording-wide seq, rotated at
+// snapshot cuts so old segments become garbage-collectable.
+//
+// Locking: appendOp is called under the owning shard's lock, which is
+// what makes per-PM WAL order equal apply order; wal.mu only serializes
+// appenders on different shards against each other and against
+// flush/rotate. Lock order is shard.mu -> wal.mu, never the reverse.
+type wal struct {
+	mu    sync.Mutex
+	dir   string // "" = discard mode (no durability)
+	fsync bool
+	rec   *record.Recorder
+}
+
+// walMeta stamps WAL segment headers so recordings are self-describing
+// when inspected with the prvm-replay tooling.
+func walMeta(startSeq int64) record.RunMeta {
+	return record.RunMeta{
+		Kind:   "serve-wal",
+		Labels: map[string]string{"start_seq": strconv.FormatInt(startSeq, 10)},
+	}
+}
+
+// openWAL opens a fresh segment starting at startSeq in dir, or a
+// discard-mode wal when dir is empty (seqs are still assigned so the
+// API behaves identically, but nothing persists).
+func openWAL(dir string, startSeq int64, fsync bool) (*wal, error) {
+	w := &wal{dir: dir, fsync: fsync}
+	if dir == "" {
+		rec, err := record.NewWriter(io.Discard, walMeta(startSeq))
+		if err != nil {
+			return nil, fmt.Errorf("serve: open wal: %w", err)
+		}
+		rec.SetNextSeq(startSeq)
+		w.rec = rec
+		return w, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: open wal: %w", err)
+	}
+	rec, err := record.Create(filepath.Join(dir, segmentName(startSeq)), walMeta(startSeq))
+	if err != nil {
+		return nil, fmt.Errorf("serve: open wal: %w", err)
+	}
+	rec.SetNextSeq(startSeq)
+	// The header itself must be durable before any op is acknowledged
+	// against this segment, or a crash could leave an unparseable file
+	// ahead of acknowledged ops in a later segment.
+	if err := rec.Sync(); err != nil {
+		_ = rec.Close() // the sync error is the story
+		return nil, fmt.Errorf("serve: open wal: %w", err)
+	}
+	w.rec = rec
+	return w, nil
+}
+
+// appendOp appends one op and returns its assigned seq. The caller must
+// hold the lock of the shard the op mutates and must call flush before
+// acknowledging.
+func (w *wal) appendOp(op record.Op) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rec.RecordOp(op)
+}
+
+// flush is the durability barrier: buffered ops reach the OS (and
+// stable storage when fsync is configured). Called once per batch, off
+// the shard locks.
+func (w *wal) flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fsync {
+		return w.rec.Sync()
+	}
+	return w.rec.Flush()
+}
+
+// nextSeq returns the seq the next appended op will be assigned.
+func (w *wal) nextSeq() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rec.NextSeq()
+}
+
+// rotate closes the active segment and opens a new one starting at
+// cutSeq. The caller (snapshot) must have quiesced all shards, so no
+// append can interleave; cutSeq must equal the current next seq.
+func (w *wal) rotate(cutSeq int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dir == "" {
+		return nil
+	}
+	if err := w.rec.Close(); err != nil {
+		return fmt.Errorf("serve: rotate wal: %w", err)
+	}
+	rec, err := record.Create(filepath.Join(w.dir, segmentName(cutSeq)), walMeta(cutSeq))
+	if err != nil {
+		return fmt.Errorf("serve: rotate wal: %w", err)
+	}
+	rec.SetNextSeq(cutSeq)
+	if err := rec.Sync(); err != nil {
+		_ = rec.Close() // the sync error is the story
+		return fmt.Errorf("serve: rotate wal: %w", err)
+	}
+	w.rec = rec
+	return nil
+}
+
+// close flushes and closes the active segment.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rec.Close()
+}
+
+// readSegmentOps streams the ops of one segment to fn in file order,
+// starting the scan at the segment's header. A decode error with
+// tolerateTail set is treated as a torn tail — the scan stops and
+// truncated is reported — which is only legal for the final segment of
+// a recovery scan; earlier segments were sealed by rotation and must
+// parse completely.
+func readSegmentOps(path string, tolerateTail bool, fn func(record.Op) error) (truncated bool, err error) {
+	r, err := record.Open(path)
+	if err != nil {
+		if tolerateTail {
+			// A crash can tear even the header of a just-rotated
+			// segment; nothing acknowledged can live in it.
+			return true, nil
+		}
+		return false, err
+	}
+	defer func() { _ = r.Close() }() // read-only close; scan error is the story
+	for {
+		e, nerr := r.Next()
+		if nerr == io.EOF {
+			return false, nil
+		}
+		if nerr != nil {
+			if tolerateTail {
+				return true, nil
+			}
+			return false, nerr
+		}
+		if e.Op == nil {
+			continue
+		}
+		if ferr := fn(*e.Op); ferr != nil {
+			return false, ferr
+		}
+	}
+}
