@@ -52,30 +52,38 @@ race:
 # Chaos suite (DESIGN.md §10): full testbed experiments under seeded
 # fault injection — drops, transport errors, agent crashes — with the
 # race detector on, asserting the controller degrades gracefully and
-# surviving agents stay consistent with its mirror.
+# surviving agents stay consistent with its mirror. The serve-side
+# kill/recover tests ride along: concurrent traffic, descheduler
+# rounds and maintenance drains against an abrupt kill, verified by an
+# independent WAL fold.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos' ./internal/testbed/
+	$(GO) test -race -count=1 -run 'KillRecover' ./internal/serve/
 
 # Hot-path benchmark harness: runs the PlaceLookup / SpaceWire /
-# RanksCSR / RecordOverhead / TableCache micro-benchmarks, plus a
-# record/replay macro-benchmark (throughput and per-phase latency
-# percentiles), and writes the comparisons to BENCH_pr8.json (see
-# README "Benchmarks").
+# RanksCSR / RecordOverhead / TableCache / RebalanceStep
+# micro-benchmarks, plus a record/replay macro-benchmark (throughput
+# and per-phase latency percentiles), and writes the comparisons to
+# BENCH_pr10.json (see README "Benchmarks").
 bench:
-	$(GO) run ./cmd/prvm-bench -out BENCH_pr8.json
+	$(GO) run ./cmd/prvm-bench -out BENCH_pr10.json
 
 # Bench-regression gate: re-run the micro-benchmarks briefly and diff
-# against the recorded baseline. Allocs/op must never regress; ns/op
-# gets a loose tolerance because the baseline was recorded on different
-# hardware than CI runners (see cmd/prvm-bench doc comment).
+# against the recorded baseline. Allocs/op must not regress (the
+# many-alloc parallel builds get a one-alloc scheduler-jitter slack);
+# ns/op gets a loose tolerance because the baseline was recorded on
+# different hardware than CI runners (see cmd/prvm-bench doc comment).
 bench-compare:
 	$(GO) run ./cmd/prvm-bench -out /tmp/bench_compare.json -benchtime 0.2s \
-		-replay-vms 40 -compare BENCH_pr8.json -tolerance 1.0
+		-replay-vms 40 -compare BENCH_pr10.json -tolerance 1.0
 
-# Golden replay regression (DESIGN.md §11): the checked-in recording
-# under examples/ must replay bit-identically through the current code.
+# Golden replay regression (DESIGN.md §11): the checked-in recordings
+# under examples/ must replay bit-identically through the current code
+# — the admission-only run and the churn+rebalance run (whose decision
+# stream includes descheduler moves as release+place op pairs).
 golden:
 	$(GO) run ./cmd/prvm-replay -verify examples/golden/planetlab-60vm-48step.jsonl.gz
+	$(GO) run ./cmd/prvm-replay -verify examples/golden/churn-rebalance-60vm-48step.jsonl.gz
 
 bench-all:
 	$(GO) test -bench . -benchmem ./...

@@ -1,0 +1,52 @@
+package pagerankvm_test
+
+import (
+	"testing"
+
+	"pagerankvm/internal/deschedule"
+	"pagerankvm/internal/experiments"
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+)
+
+// BenchmarkRebalanceStep prices one descheduler round over a loaded
+// production cluster in steady state. An impossible gain margin (and no
+// drain threshold) keeps every round move-free, so each iteration
+// measures the pure scan cost — tentative release, Algorithm 2 re-ask,
+// re-host — without mutating the cluster between iterations. This is
+// the per-round overhead the serve daemon's background rebalance loop
+// adds while the cluster is already well-packed, the common case.
+func BenchmarkRebalanceStep(b *testing.B) {
+	cat, err := experiments.AmazonCatalog()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, err := cat.BuildRegistry(ranktable.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	placer := placement.NewPageRankVM(reg, placement.WithSeed(1))
+	cluster := cat.BuildCluster(4)
+	types := []string{"m3.medium", "m3.large", "m3.xlarge", "c3.large", "c3.xlarge"}
+	for id := 0; id < 24; id++ {
+		vm, err := cat.NewVM(id, types[id%len(types)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		pm, assign, err := placer.Place(cluster, vm, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cluster.Host(pm, vm, assign); err != nil {
+			b.Fatal(err)
+		}
+	}
+	engine := deschedule.New(placer, deschedule.Config{MinGainFrac: 1e12})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st := engine.Rebalance(cluster); st.Moves != 0 {
+			b.Fatalf("steady-state round committed %d moves", st.Moves)
+		}
+	}
+}

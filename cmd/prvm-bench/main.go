@@ -1,5 +1,5 @@
 // Command prvm-bench runs the repo's hot-path micro-benchmarks and
-// writes a machine-readable summary to a JSON file (BENCH_pr8.json by
+// writes a machine-readable summary to a JSON file (BENCH_pr10.json by
 // default). It shells out to `go test -bench`, parses the standard
 // benchmark output, and pairs up before/after variants — fast vs
 // legacy, csr vs slices, parallel vs serial, recording off vs on,
@@ -11,14 +11,18 @@
 // With -compare the run is additionally diffed against a recorded
 // baseline report: any benchmark present in both reports fails the run
 // when its ns/op regresses past -tolerance (default 15%) or its
-// allocs/op increases at all. ns/op is machine- and load-dependent —
+// allocs/op increases. ns/op is machine- and load-dependent —
 // comparing across different hardware needs a loose tolerance — while
-// allocs/op is deterministic and compares exactly anywhere.
+// allocs/op compares exactly for the serial hot paths. The one
+// exception: benchmarks already paying many allocs/op (the parallel
+// work-stealing builds) jitter by ±1 with goroutine scheduling, so
+// those get a one-alloc slack — a real regression on such a path adds
+// allocations per item, far more than one per op.
 //
 // Usage:
 //
 //	prvm-bench [-bench regex] [-pkg ./...] [-benchtime 1s] [-count 1]
-//	           [-out BENCH_pr8.json] [-replay-vms n]
+//	           [-out BENCH_pr10.json] [-replay-vms n]
 //	           [-compare BENCH_prN.json] [-tolerance 0.15]
 package main
 
@@ -115,11 +119,11 @@ var variantPairs = [][2]string{
 func run(args []string) error {
 	fs := flag.NewFlagSet("prvm-bench", flag.ContinueOnError)
 	var (
-		benchRe   = fs.String("bench", "BenchmarkPlaceLookup|BenchmarkSpaceWire|BenchmarkRanksCSR|BenchmarkRecordOverhead|BenchmarkTableCache", "benchmark regex passed to go test -bench")
+		benchRe   = fs.String("bench", "BenchmarkPlaceLookup|BenchmarkSpaceWire|BenchmarkRanksCSR|BenchmarkRecordOverhead|BenchmarkTableCache|BenchmarkRebalanceStep", "benchmark regex passed to go test -bench")
 		pkg       = fs.String("pkg", ".", "package pattern to benchmark")
 		benchtime = fs.String("benchtime", "", "go test -benchtime value (empty = default)")
 		count     = fs.Int("count", 1, "go test -count value")
-		out       = fs.String("out", "BENCH_pr8.json", "output JSON file")
+		out       = fs.String("out", "BENCH_pr10.json", "output JSON file")
 		replayVMs = fs.Int("replay-vms", 120, "VM count of the record/replay macro-benchmark (0 disables it)")
 		baseline  = fs.String("compare", "", "baseline BENCH_prN.json to gate against (empty = no gate)")
 		tolerance = fs.Float64("tolerance", 0.15, "allowed fractional ns/op regression vs -compare baseline")
@@ -233,9 +237,19 @@ func compareBaseline(path string, cur report, tol float64) error {
 			fails = append(fails, fmt.Sprintf("%s: %.4g ns/op vs baseline %.4g (+%.0f%%, tolerance %.0f%%)",
 				r.Name, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), 100*tol))
 		}
-		if b.AllocsPer != nil && r.AllocsPer != nil && *r.AllocsPer > *b.AllocsPer {
-			fails = append(fails, fmt.Sprintf("%s: %.1f allocs/op vs baseline %.1f — any allocation regression fails",
-				r.Name, *r.AllocsPer, *b.AllocsPer))
+		if b.AllocsPer != nil && r.AllocsPer != nil {
+			// Zero- and few-alloc hot paths compare exactly; paths
+			// already paying many allocs/op (parallel work-stealing
+			// builds) jitter by ±1 with goroutine scheduling, and a
+			// real regression there adds far more than one alloc/op.
+			slack := 0.0
+			if *b.AllocsPer >= 16 {
+				slack = 1
+			}
+			if *r.AllocsPer > *b.AllocsPer+slack {
+				fails = append(fails, fmt.Sprintf("%s: %.1f allocs/op vs baseline %.1f — allocation regression fails",
+					r.Name, *r.AllocsPer, *b.AllocsPer))
+			}
 		}
 	}
 	if len(fails) > 0 {

@@ -6,7 +6,9 @@
 //
 //	prvm-serve [-addr :8080] [-data dir] [-shards n] [-pms n]
 //	           [-seed s] [-fsync] [-batch-max n] [-batch-wait d]
-//	           [-snapshot-every n]
+//	           [-snapshot-every n] [-rebalance-every d]
+//	           [-rebalance-budget n] [-rebalance-pm-budget n]
+//	           [-drain-below f]
 //
 // The cluster is -pms hosts of each Table II PM type from the Amazon
 // catalog; rank tables are built at startup. With -data set, accepted
@@ -31,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"pagerankvm/internal/deschedule"
 	"pagerankvm/internal/experiments"
 	"pagerankvm/internal/obs"
 	"pagerankvm/internal/ranktable"
@@ -56,6 +59,10 @@ func run(args []string) error {
 		batchMax  = fs.Int("batch-max", 0, "max placements per admission batch (0 = default)")
 		batchWait = fs.Duration("batch-wait", 0, "hold admission batches open this long (0 = greedy group commit)")
 		snapEvery = fs.Int64("snapshot-every", 0, "ops between automatic snapshots (0 = default, <0 disables)")
+		rebEvery  = fs.Duration("rebalance-every", 0, "period between background descheduler rounds (0 disables the loop)")
+		rebBudget = fs.Int("rebalance-budget", 0, "max migrations per descheduler round (0 = default)")
+		rebPM     = fs.Int("rebalance-pm-budget", 0, "max migrations off one PM per round (0 = default)")
+		drainFrac = fs.Float64("drain-below", 0, "fill fraction under which the descheduler evacuates a PM (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,18 +83,24 @@ func run(args []string) error {
 	observer.SetSink(ring)
 
 	s, err := serve.New(serve.Config{
-		Rankers:       reg,
-		PMs:           cat.BuildCluster(*pms).PMs(),
-		NewVM:         cat.NewVM,
-		Shards:        *shards,
-		Seed:          *seed,
-		DataDir:       *dataDir,
-		Fsync:         *fsync,
-		BatchMax:      *batchMax,
-		BatchWait:     *batchWait,
-		SnapshotEvery: *snapEvery,
-		Obs:           observer,
-		Sink:          ring,
+		Rankers:        reg,
+		PMs:            cat.BuildCluster(*pms).PMs(),
+		NewVM:          cat.NewVM,
+		Shards:         *shards,
+		Seed:           *seed,
+		DataDir:        *dataDir,
+		Fsync:          *fsync,
+		BatchMax:       *batchMax,
+		BatchWait:      *batchWait,
+		SnapshotEvery:  *snapEvery,
+		Obs:            observer,
+		Sink:           ring,
+		RebalanceEvery: *rebEvery,
+		Rebalance: deschedule.Config{
+			MaxMovesPerRound: *rebBudget,
+			MaxMovesPerPM:    *rebPM,
+			DrainBelow:       *drainFrac,
+		},
 	})
 	if err != nil {
 		return err

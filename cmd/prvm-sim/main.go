@@ -9,7 +9,9 @@
 //	         [-vms 1000,2000,3000] [-pms n]
 //	         [-obsaddr host:port] [-metrics-out file]
 //	prvm-sim -record out.jsonl[.gz] [-record-steps n] [-record-nofast]
-//	         [-seed s] [-vms n] [-pms n]
+//	         [-seed s] [-vms n] [-pms n] [-rebalance-every n]
+//	         [-rebalance-budget n] [-rebalance-pm-budget n]
+//	         [-drain-below f]
 //
 // The paper uses 100 repetitions; the default here is sized for a
 // small machine — pass -reps 100 (or set PRVM_REPS) to match the
@@ -70,18 +72,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("prvm-sim", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "figure id (3a,3b,5a,5b,6a,6b,7a,7b) or all")
-		reps    = fs.Int("reps", defaultReps(), "repetitions per point (paper: 100)")
-		seed    = fs.Int64("seed", 1, "base random seed")
-		vms     = fs.String("vms", "1000,2000,3000", "comma-separated VM counts")
-		pms     = fs.Int("pms", 0, "PMs per Table II type (0 = auto)")
-		csvPath = fs.String("csv", "", "also write the sweep data as tidy CSV to this file")
-		series  = fs.String("series", "", "write one run's per-interval time series as CSV to this file (uses the first -vms count and the first figure's trace)")
-		obsAddr = fs.String("obsaddr", "", "serve telemetry (JSON metrics, decision traces, pprof) on this address; :0 picks a port")
-		metOut  = fs.String("metrics-out", "", "write the final telemetry snapshot as JSON to this file")
-		recPath = fs.String("record", "", "record one seeded run as a decision recording at this path (.gz compresses) instead of sweeping")
-		recStep = fs.Int("record-steps", 0, "horizon of the recorded run in monitoring intervals (0 = the 24 h default)")
-		recSlow = fs.Bool("record-nofast", false, "record with the id-indexed fast path disabled (legacy scoring)")
+		fig       = fs.String("fig", "all", "figure id (3a,3b,5a,5b,6a,6b,7a,7b) or all")
+		reps      = fs.Int("reps", defaultReps(), "repetitions per point (paper: 100)")
+		seed      = fs.Int64("seed", 1, "base random seed")
+		vms       = fs.String("vms", "1000,2000,3000", "comma-separated VM counts")
+		pms       = fs.Int("pms", 0, "PMs per Table II type (0 = auto)")
+		csvPath   = fs.String("csv", "", "also write the sweep data as tidy CSV to this file")
+		series    = fs.String("series", "", "write one run's per-interval time series as CSV to this file (uses the first -vms count and the first figure's trace)")
+		obsAddr   = fs.String("obsaddr", "", "serve telemetry (JSON metrics, decision traces, pprof) on this address; :0 picks a port")
+		metOut    = fs.String("metrics-out", "", "write the final telemetry snapshot as JSON to this file")
+		recPath   = fs.String("record", "", "record one seeded run as a decision recording at this path (.gz compresses) instead of sweeping")
+		recStep   = fs.Int("record-steps", 0, "horizon of the recorded run in monitoring intervals (0 = the 24 h default)")
+		recSlow   = fs.Bool("record-nofast", false, "record with the id-indexed fast path disabled (legacy scoring)")
+		rebEvery  = fs.Int("rebalance-every", 0, "recording mode: run a descheduler round every n monitoring intervals (0 disables)")
+		rebBudget = fs.Int("rebalance-budget", 0, "recording mode: max migrations per descheduler round (0 = default)")
+		rebPM     = fs.Int("rebalance-pm-budget", 0, "recording mode: max migrations off one PM per round (0 = default)")
+		drainFrac = fs.Float64("drain-below", 0, "recording mode: fill fraction under which the descheduler evacuates a PM (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,12 +107,16 @@ func run(args []string) error {
 
 	if *recPath != "" {
 		return runRecord(*recPath, experiments.RecordConfig{
-			Trace:      figures[wanted[0]].trace,
-			Seed:       *seed,
-			NumVMs:     counts[0],
-			PMsPerType: *pms,
-			Steps:      *recStep,
-			NoFastPath: *recSlow,
+			Trace:               figures[wanted[0]].trace,
+			Seed:                *seed,
+			NumVMs:              counts[0],
+			PMsPerType:          *pms,
+			Steps:               *recStep,
+			NoFastPath:          *recSlow,
+			RebalanceEvery:      *rebEvery,
+			RebalanceBudget:     *rebBudget,
+			RebalancePMBudget:   *rebPM,
+			RebalanceDrainBelow: *drainFrac,
 		})
 	}
 

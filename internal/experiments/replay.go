@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"time"
 
+	"pagerankvm/internal/deschedule"
 	"pagerankvm/internal/energy"
 	"pagerankvm/internal/obs/record"
 	"pagerankvm/internal/placement"
@@ -40,6 +41,21 @@ type RecordConfig struct {
 	// engine-independent, so recordings of the two variants diff
 	// clean; the flag is kept in the header for honest provenance.
 	NoFastPath bool
+	// RebalanceEvery, when positive, enables the descheduler: one
+	// rebalance round every that many monitoring intervals. Rebalance
+	// moves are part of decision identity (each is a release+place op
+	// pair in the recording), so the header must carry the full
+	// descheduler configuration.
+	RebalanceEvery int
+	// RebalanceBudget is the per-round migration budget
+	// (deschedule.Config.MaxMovesPerRound; 0 = engine default).
+	RebalanceBudget int
+	// RebalancePMBudget caps per-source moves per round
+	// (deschedule.Config.MaxMovesPerPM; 0 = engine default).
+	RebalancePMBudget int
+	// RebalanceDrainBelow is the drain-pass fill threshold
+	// (deschedule.Config.DrainBelow; 0 disables the drain pass).
+	RebalanceDrainBelow float64
 }
 
 func (c RecordConfig) withDefaults() RecordConfig {
@@ -66,14 +82,18 @@ func (c RecordConfig) withDefaults() RecordConfig {
 func (c RecordConfig) Meta() record.RunMeta {
 	c = c.withDefaults()
 	return record.RunMeta{
-		Kind:       "sim",
-		Trace:      c.Trace,
-		Seed:       c.Seed,
-		NumVMs:     c.NumVMs,
-		PMsPerType: c.PMsPerType,
-		Steps:      c.Steps,
-		Algorithm:  "PageRankVM",
-		NoFastPath: c.NoFastPath,
+		Kind:                "sim",
+		Trace:               c.Trace,
+		Seed:                c.Seed,
+		NumVMs:              c.NumVMs,
+		PMsPerType:          c.PMsPerType,
+		Steps:               c.Steps,
+		Algorithm:           "PageRankVM",
+		NoFastPath:          c.NoFastPath,
+		RebalanceEvery:      c.RebalanceEvery,
+		RebalanceBudget:     c.RebalanceBudget,
+		RebalancePMBudget:   c.RebalancePMBudget,
+		RebalanceDrainBelow: c.RebalanceDrainBelow,
 	}
 }
 
@@ -87,12 +107,16 @@ func ConfigFromMeta(m record.RunMeta) (RecordConfig, error) {
 		return RecordConfig{}, fmt.Errorf("experiments: recorded algorithm %q is not replayable", m.Algorithm)
 	}
 	cfg := RecordConfig{
-		Trace:      m.Trace,
-		Seed:       m.Seed,
-		NumVMs:     m.NumVMs,
-		PMsPerType: m.PMsPerType,
-		Steps:      m.Steps,
-		NoFastPath: m.NoFastPath,
+		Trace:               m.Trace,
+		Seed:                m.Seed,
+		NumVMs:              m.NumVMs,
+		PMsPerType:          m.PMsPerType,
+		Steps:               m.Steps,
+		NoFastPath:          m.NoFastPath,
+		RebalanceEvery:      m.RebalanceEvery,
+		RebalanceBudget:     m.RebalanceBudget,
+		RebalancePMBudget:   m.RebalancePMBudget,
+		RebalanceDrainBelow: m.RebalanceDrainBelow,
 	}.withDefaults()
 	if _, err := trace.ByName(cfg.Trace, cfg.Seed); err != nil {
 		return RecordConfig{}, fmt.Errorf("experiments: recording header: %w", err)
@@ -144,8 +168,14 @@ func RunRecorded(cfg RecordConfig, rec *record.Recorder) (sim.Result, error) {
 		models[pm.Name] = m
 	}
 	scfg := sim.Config{
-		Horizon:  time.Duration(cfg.Steps) * sim.DefaultInterval,
-		Recorder: rec,
+		Horizon:        time.Duration(cfg.Steps) * sim.DefaultInterval,
+		Recorder:       rec,
+		RebalanceEvery: cfg.RebalanceEvery,
+		Rebalance: deschedule.Config{
+			MaxMovesPerRound: cfg.RebalanceBudget,
+			MaxMovesPerPM:    cfg.RebalancePMBudget,
+			DrainBelow:       cfg.RebalanceDrainBelow,
+		},
 	}
 	s, err := sim.New(scfg, cat.BuildCluster(cfg.PMsPerType), placer,
 		placement.RankEvictor{Placer: placer}, models, workloads)

@@ -32,7 +32,7 @@ type Op struct {
 	// recording. Snapshot cuts are expressed against it: a snapshot
 	// taken at seq S reflects exactly the ops with Seq < S.
 	Seq int64 `json:"seq"`
-	// Kind is OpPlace or OpRelease.
+	// Kind is OpPlace, OpRelease or OpRetire.
 	Kind string `json:"kind"`
 	// VM and VMType identify the VM instance being placed or released.
 	VM     int    `json:"vm"`
@@ -63,6 +63,11 @@ const (
 	OpPlace = "place"
 	// OpRelease: VM released from PM, its resources returned.
 	OpRelease = "release"
+	// OpRetire: PM permanently removed from the inventory — the final
+	// op of a maintenance drain, logged only after every hosted VM was
+	// moved off (each move its own release+place pair). VM fields are
+	// unused.
+	OpRetire = "retire"
 )
 
 // lineOp is the "t" discriminator of an op line.

@@ -64,6 +64,20 @@ type RunMeta struct {
 	// NoFastPath records that the run forced the string-key
 	// enumeration path (placement.WithoutFastPath).
 	NoFastPath bool `json:"no_fast_path,omitempty"`
+	// RebalanceEvery, when positive, records that the run enabled the
+	// descheduler: one rebalance round every that many monitoring
+	// intervals (internal/deschedule).
+	RebalanceEvery int `json:"rebalance_every,omitempty"`
+	// RebalanceBudget is the descheduler's per-round migration budget
+	// (MaxMovesPerRound; 0 = the engine default).
+	RebalanceBudget int `json:"rebalance_budget,omitempty"`
+	// RebalancePMBudget caps moves leaving any single PM per round
+	// (MaxMovesPerPM; 0 = the engine default).
+	RebalancePMBudget int `json:"rebalance_pm_budget,omitempty"`
+	// RebalanceDrainBelow is the fill fraction under which the
+	// descheduler tries to evacuate a PM entirely (0 disables the
+	// drain pass).
+	RebalanceDrainBelow float64 `json:"rebalance_drain_below,omitempty"`
 	// Labels carries free-form context (host, git revision, ...).
 	Labels map[string]string `json:"labels,omitempty"`
 }
@@ -85,6 +99,9 @@ const (
 	// StatusNoProfile: the accommodation left the rank table (no
 	// feasible successor profile scored).
 	StatusNoProfile = "no_profile"
+	// StatusCordoned: the PM is cordoned for a maintenance drain and
+	// accepts no new placements.
+	StatusCordoned = "cordoned"
 )
 
 // Candidate is one PM examined while placing one VM.

@@ -19,7 +19,7 @@ func (FirstFit) Name() string { return "FF" }
 // Place implements Placer.
 func (FirstFit) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment, error) {
 	for _, pm := range c.UsedPMs() {
-		if pm == exclude || !pm.Fits(vm) {
+		if pm == exclude || pm.Cordoned() || !pm.Fits(vm) {
 			continue
 		}
 		demand, _ := vm.DemandOn(pm.Type)
@@ -103,7 +103,7 @@ func (CompVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment, 
 		bestUtil = -1.0
 	)
 	for _, pm := range c.UsedPMs() {
-		if pm == exclude || !pm.Fits(vm) {
+		if pm == exclude || pm.Cordoned() || !pm.Fits(vm) {
 			continue
 		}
 		demand, _ := vm.DemandOn(pm.Type)
@@ -164,7 +164,7 @@ func (BestFit) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment,
 		bestDemd resource.VMType
 	)
 	for _, pm := range c.UsedPMs() {
-		if pm == exclude || !pm.Fits(vm) {
+		if pm == exclude || pm.Cordoned() || !pm.Fits(vm) {
 			continue
 		}
 		demand, _ := vm.DemandOn(pm.Type)

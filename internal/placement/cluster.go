@@ -58,6 +58,11 @@ type PM struct {
 	used resource.Vec
 	vms  map[int]Hosted
 
+	// cordon marks the PM as unavailable for new placements — the
+	// maintenance-drain state. Placers skip cordoned PMs; Host still
+	// succeeds (compensation paths re-host a released VM explicitly).
+	cordon bool
+
 	// gen counts profile mutations (host/remove). The fast-path
 	// placer caches the lattice node ids of the used profile here (see
 	// pmNodeIDs in pagerankvm.go); the cache is valid while
@@ -93,6 +98,16 @@ func (p *PM) Active() bool { return len(p.vms) > 0 }
 // VMs returns the hosted VMs. The returned map is shared; callers must
 // not modify it.
 func (p *PM) VMs() map[int]Hosted { return p.vms }
+
+// Cordoned reports whether the PM is cordoned: under maintenance
+// drain, refused by every placer until uncordoned or retired.
+func (p *PM) Cordoned() bool { return p.cordon }
+
+// SetCordoned marks or unmarks the PM as cordoned. Cordoning only
+// affects placer choice — hosted VMs stay hosted, and Cluster.Host on
+// a cordoned PM still succeeds so drain-failure compensation can put a
+// released VM back.
+func (p *PM) SetCordoned(v bool) { p.cordon = v }
 
 // Fits reports whether vm can be hosted under the PM's remaining
 // capacity with anti-collocation respected.
@@ -314,7 +329,7 @@ type Placer interface {
 // take the first unused PM that can host the VM.
 func openUnused(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assignment, error) {
 	for _, pm := range c.unused {
-		if pm == exclude || !pm.Fits(vm) {
+		if pm == exclude || pm.Cordoned() || !pm.Fits(vm) {
 			continue
 		}
 		demand, _ := vm.DemandOn(pm.Type)

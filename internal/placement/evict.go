@@ -124,15 +124,20 @@ func (e MMTEvictor) SelectVictim(pm *PM, overloaded []int) (int, bool) {
 		bestSize = math.MaxInt
 	)
 	for _, h := range victimCandidates(pm, overloaded) {
+		demand, ok := h.VM.DemandOn(pm.Type)
+		if !ok {
+			// No demand record on this PM type: the migration time is
+			// unknowable, and counting it as zero would make such a VM
+			// the permanent first choice. Skip it.
+			continue
+		}
 		size := 0
-		if demand, ok := h.VM.DemandOn(pm.Type); ok {
-			if mem, ok := demand.DemandFor(memGroup); ok {
-				for _, u := range mem.Units {
-					size += u
-				}
-			} else {
-				size = demand.TotalUnits()
+		if mem, ok := demand.DemandFor(memGroup); ok {
+			for _, u := range mem.Units {
+				size += u
 			}
+		} else {
+			size = demand.TotalUnits()
 		}
 		if size < bestSize {
 			bestSize, bestID = size, h.VM.ID

@@ -237,6 +237,10 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusExcluded})
 				continue
 			}
+			if pm.Cordoned() {
+				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusCordoned})
+				continue
+			}
 			t0 := time.Now()
 			fits := pm.Fits(vm)
 			ph.CheckNs += int64(time.Since(t0))
@@ -244,7 +248,7 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusNoFit})
 				continue
 			}
-		} else if pm == exclude || !pm.Fits(vm) {
+		} else if pm == exclude || pm.Cordoned() || !pm.Fits(vm) {
 			continue
 		}
 		b, err := p.binding(pm.Type, vm)
@@ -324,6 +328,10 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusExcluded, Unused: true})
 				continue
 			}
+			if pm.Cordoned() {
+				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusCordoned, Unused: true})
+				continue
+			}
 			t0 := time.Now()
 			fits := pm.Fits(vm)
 			ph.CheckNs += int64(time.Since(t0))
@@ -331,7 +339,7 @@ func (p *PageRankVM) Place(c *Cluster, vm *VM, exclude *PM) (*PM, resource.Assig
 				recCands = append(recCands, record.Candidate{PM: pm.ID, Status: record.StatusNoFit, Unused: true})
 				continue
 			}
-		} else if pm == exclude || !pm.Fits(vm) {
+		} else if pm == exclude || pm.Cordoned() || !pm.Fits(vm) {
 			continue
 		}
 		b, err := p.binding(pm.Type, vm)

@@ -234,6 +234,49 @@ func TestMMTEvictorPicksSmallestMemory(t *testing.T) {
 	}
 }
 
+// Regression: a hosted VM with no demand record for its PM's type used
+// to keep size 0 through the loop and win victim selection every time,
+// so MMT evicted the one VM whose migration time is unknowable — and
+// kept re-picking it forever when re-placement failed. Such VMs must
+// be skipped.
+func TestMMTEvictorSkipsUnknownDemand(t *testing.T) {
+	shape := resource.MustShape(
+		resource.Group{Name: "cpu", Dims: 2, Cap: 4},
+		resource.Group{Name: "mem", Dims: 1, Cap: 8},
+	)
+	small := resource.NewVMType("small",
+		resource.Demand{Group: "cpu", Units: []int{1}},
+		resource.Demand{Group: "mem", Units: []int{1}},
+	)
+	pm := NewPM(0, "t", shape)
+	c := NewCluster([]*PM{pm})
+
+	// vmGhost's demand records are keyed under a different PM type, so
+	// DemandOn(pm.Type) fails for it; its concrete assignment is built
+	// directly, the way a migration compensation path would.
+	vmGhost := &VM{ID: 0, Type: "small", Req: map[string]resource.VMType{"other": small}}
+	assign := resource.GreedyAssign(shape, pm.Used(), small)
+	if assign == nil {
+		t.Fatal("no assignment for ghost VM")
+	}
+	if err := c.Host(pm, vmGhost, assign); err != nil {
+		t.Fatal(err)
+	}
+
+	ev := MMTEvictor{}
+	// Alone, the ghost VM must yield no victim rather than id 0.
+	if id, ok := ev.SelectVictim(pm, []int{0, 1}); ok {
+		t.Fatalf("victim = %d; want none (only candidate has unknowable migration time)", id)
+	}
+
+	vmKnown := &VM{ID: 1, Type: "small", Req: map[string]resource.VMType{"t": small}}
+	mustHost(t, c, pm, vmKnown)
+	id, ok := ev.SelectVictim(pm, []int{0, 1})
+	if !ok || id != 1 {
+		t.Fatalf("victim = %d, %v; want 1 (vm 0 must be skipped, not preferred)", id, ok)
+	}
+}
+
 func TestMMTEvictorFallbackNoMemGroup(t *testing.T) {
 	c := newCluster(1)
 	pm := c.PMs()[0]

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pagerankvm/internal/deschedule"
+)
+
+// fillToCapacity places VMs of one type until the server returns 409,
+// so no PM in the inventory can host another instance of it. Returns
+// the placed ids.
+func fillToCapacity(t *testing.T, ts *httptest.Server, vmType string) []int {
+	t.Helper()
+	var placed []int
+	for i := 0; i < 10000; i++ {
+		var pr PlaceResponse
+		code := postJSON(t, ts.Client(), ts.URL+"/v1/place", PlaceRequest{VM: i, Type: vmType}, &pr)
+		switch code {
+		case http.StatusOK:
+			placed = append(placed, i)
+		case http.StatusConflict:
+			return placed
+		default:
+			t.Fatalf("place vm %d: status %d", i, code)
+		}
+	}
+	t.Fatal("cluster never filled")
+	return nil
+}
+
+// An evict with every destination full must compensate: the victim is
+// restored to its source with a place op, the client sees 409, and the
+// WAL carries exactly the release + compensating place — verified by
+// seq arithmetic and by kill/recover against an independent fold.
+func TestEvictCompensationRestoresVictim(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, dir, 2, 1)
+	ts := httptest.NewServer(s)
+
+	placed := fillToCapacity(t, ts, "m3.medium")
+	if len(placed) == 0 {
+		t.Fatal("nothing placed")
+	}
+
+	// Locate a victim and its host.
+	var before ClusterResponse
+	getJSON(t, ts.Client(), ts.URL+"/v1/cluster?vms=1", &before)
+	victim := before.Placements[0].VM
+	srcPM := before.Placements[0].PM
+
+	var er ErrorResponse
+	code := postJSON(t, ts.Client(), ts.URL+"/v1/evict", EvictRequest{PM: srcPM, VM: &victim}, &er)
+	if code != http.StatusConflict || er.Code != "no_capacity" {
+		t.Fatalf("evict on a full cluster: status %d code %q", code, er.Code)
+	}
+
+	// Exactly two ops hit the WAL: the release and the compensating
+	// place. Anything else means the restore path miscounts.
+	var after ClusterResponse
+	getJSON(t, ts.Client(), ts.URL+"/v1/cluster?vms=1", &after)
+	if got := after.NextSeq - before.NextSeq; got != 2 {
+		t.Fatalf("evict compensation appended %d ops, want 2 (release + place)", got)
+	}
+	if len(after.Placements) != len(before.Placements) {
+		t.Fatalf("placement count changed: %d -> %d", len(before.Placements), len(after.Placements))
+	}
+	restored := false
+	for _, p := range after.Placements {
+		if p.VM == victim {
+			restored = p.PM == srcPM
+		}
+	}
+	if !restored {
+		t.Fatalf("victim %d not restored to pm %d", victim, srcPM)
+	}
+
+	// The WAL must fold to the same state the server holds after a
+	// crash: the compensation pair cancels out.
+	ts.CloseClientConnections()
+	s.Kill()
+	ts.Close()
+	want := foldDataDir(t, dir)
+	r := newTestServer(t, dir, 2, 1)
+	defer func() { _ = r.Close() }()
+	diffPlacements(t, want, serverPlacements(r))
+	if fv, ok := want[victim]; !ok || fv.PM != srcPM {
+		t.Fatalf("fold has victim %d at %+v, want pm %d", victim, fv, srcPM)
+	}
+}
+
+// TestKillRecoverAfterDrainAndRebalance drives the maintenance-drain
+// and descheduler paths, then kills the server and verifies recovery
+// against an independent fold of the snapshot + WAL: the retirement is
+// durable, rebalance moves replay, and the recovered server keeps
+// serving. Run under -race this also exercises the drain and rebalance
+// locking against concurrent traffic.
+func TestKillRecoverAfterDrainAndRebalance(t *testing.T) {
+	dir := t.TempDir()
+	cat, reg := testEnv(t)
+	newServer := func() *Server {
+		s, err := New(Config{
+			Rankers:       reg,
+			PMs:           cat.BuildCluster(6).PMs(),
+			NewVM:         cat.NewVM,
+			Shards:        2,
+			DataDir:       dir,
+			SnapshotEvery: 32,
+			Rebalance:     deschedule.Config{DrainBelow: 0.3, MaxMovesPerRound: 8},
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return s
+	}
+	s := newServer()
+	ts := httptest.NewServer(s)
+
+	// Phase 1: concurrent place/release traffic racing descheduler
+	// rounds and a snapshot.
+	types := []string{"m3.medium", "m3.large", "c3.large", "m3.xlarge"}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 15; i++ {
+				vm := w*1000 + i
+				if code := post(ts.Client(), ts.URL+"/v1/place", PlaceRequest{VM: vm, Type: types[rng.Intn(len(types))]}); code == http.StatusOK && rng.Intn(2) == 0 {
+					post(ts.Client(), ts.URL+"/v1/release", ReleaseRequest{VM: vm})
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if _, err := s.RebalanceNow(); err != nil {
+				t.Errorf("RebalanceNow: %v", err)
+			}
+		}
+		_ = s.Snapshot()
+	}()
+	wg.Wait()
+
+	// Phase 2: a quiesced maintenance drain — deterministic 200 with
+	// this much headroom.
+	var cl ClusterResponse
+	getJSON(t, ts.Client(), ts.URL+"/v1/cluster?vms=1", &cl)
+	if len(cl.Placements) == 0 {
+		t.Fatal("no placements to drain")
+	}
+	target := cl.Placements[0].PM
+	var dr DrainResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/drain", DrainRequest{PM: target}, &dr); code != http.StatusOK {
+		var er ErrorResponse
+		postJSON(t, ts.Client(), ts.URL+"/v1/drain", DrainRequest{PM: target}, &er)
+		t.Fatalf("drain pm %d: status %d (retry: %q %q)", target, code, er.Code, er.Error)
+	}
+	if !dr.Retired || dr.Seq == 0 {
+		t.Fatalf("drain response %+v", dr)
+	}
+	var er ErrorResponse
+	if code := postJSON(t, ts.Client(), ts.URL+"/v1/evict", EvictRequest{PM: target}, &er); code != http.StatusNotFound || er.Code != "unknown_pm" {
+		t.Fatalf("evict on retired pm: status %d code %q", code, er.Code)
+	}
+	getJSON(t, ts.Client(), ts.URL+"/v1/cluster", &cl)
+	if cl.Retired != 1 {
+		t.Fatalf("Retired = %d, want 1", cl.Retired)
+	}
+
+	// Phase 3: more traffic plus one rebalance round after the retire,
+	// so the WAL tail interleaves ordinary ops with the drain's.
+	for i := 0; i < 10; i++ {
+		post(ts.Client(), ts.URL+"/v1/place", PlaceRequest{VM: 90000 + i, Type: "m3.medium"})
+	}
+	if _, err := s.RebalanceNow(); err != nil {
+		t.Fatalf("RebalanceNow after drain: %v", err)
+	}
+
+	ts.CloseClientConnections()
+	s.Kill()
+	ts.Close()
+
+	want := foldDataDir(t, dir)
+	for id, fv := range want {
+		if fv.PM == target {
+			t.Fatalf("fold places vm %d on retired pm %d", id, target)
+		}
+	}
+
+	r := newServer()
+	defer func() { _ = r.Close() }()
+	diffPlacements(t, want, serverPlacements(r))
+
+	// The retirement survived: the PM is out of every shard's inventory.
+	retired := 0
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		if _, ok := sh.pms[target]; ok {
+			t.Errorf("retired pm %d back in shard %d inventory", target, sh.idx)
+		}
+		retired += len(sh.retired)
+		sh.mu.Unlock()
+	}
+	if retired != 1 {
+		t.Fatalf("recovered server reports %d retired PMs, want 1", retired)
+	}
+
+	// And it keeps serving: place, rebalance, and drain all still work.
+	ts2 := httptest.NewServer(r)
+	defer ts2.Close()
+	var pr PlaceResponse
+	if code := postJSON(t, ts2.Client(), ts2.URL+"/v1/place", PlaceRequest{VM: 777777, Type: "m3.medium"}, &pr); code != http.StatusOK {
+		t.Fatalf("post-recovery place: status %d", code)
+	}
+	if _, err := r.RebalanceNow(); err != nil {
+		t.Fatalf("post-recovery RebalanceNow: %v", err)
+	}
+	getJSON(t, ts2.Client(), ts2.URL+"/v1/cluster?vms=1", &cl)
+	if cl.Retired != 1 || len(cl.Placements) != len(want)+1 {
+		t.Fatalf("post-recovery cluster: retired %d, %d placements (fold %d + 1)", cl.Retired, len(cl.Placements), len(want))
+	}
+}

@@ -81,6 +81,33 @@ type EvictResponse struct {
 	Seq int64 `json:"seq"`
 }
 
+// DrainRequest is the body of POST /v1/drain: evacuate every VM off a
+// PM and retire it from the inventory (maintenance drain).
+type DrainRequest struct {
+	// PM is the machine to drain.
+	PM int `json:"pm"`
+}
+
+// DrainMove is one migration performed by a drain.
+type DrainMove struct {
+	// VM is the moved instance; To is its new host.
+	VM int `json:"vm"`
+	To int `json:"to"`
+}
+
+// DrainResponse is the body of a successful POST /v1/drain.
+type DrainResponse struct {
+	// PM echoes the drained machine.
+	PM int `json:"pm"`
+	// Moves lists the migrations, in the order they were performed.
+	Moves []DrainMove `json:"moves,omitempty"`
+	// Retired confirms the PM left the inventory.
+	Retired bool `json:"retired"`
+	// Seq is the WAL sequence number of the retire op (every move's
+	// release+place pair precedes it).
+	Seq int64 `json:"seq"`
+}
+
 // ErrorResponse is the body of every non-2xx API response.
 type ErrorResponse struct {
 	// Code is a stable machine-readable cause (see API.md's table).
@@ -99,6 +126,8 @@ type ClusterResponse struct {
 	UsedPMs int `json:"used_pms"`
 	VMs     int `json:"vms"`
 	MaxUsed int `json:"max_used"`
+	// Retired counts PMs drained out of the inventory.
+	Retired int `json:"retired"`
 	// NextSeq is the next WAL sequence number.
 	NextSeq int64 `json:"next_seq"`
 	// Placements lists vm->pm pairs (ascending vm id) when the request
@@ -113,6 +142,7 @@ type ShardStatus struct {
 	Used    int `json:"used"`
 	VMs     int `json:"vms"`
 	MaxUsed int `json:"max_used"`
+	Retired int `json:"retired,omitempty"`
 }
 
 // VMStatus is one placed VM in ClusterResponse.Placements.
@@ -132,11 +162,19 @@ type HealthResponse struct {
 	Recovery RecoveryInfo `json:"recovery"`
 }
 
+// Sentinel causes for evict/drain request routing (batch.go defines
+// the admission-path sentinels).
+var (
+	errUnknownPM = errors.New("serve: unknown pm")
+	errDraining  = errors.New("serve: pm is draining")
+)
+
 // routes wires the API and the in-process observability endpoints.
 func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/place", s.handlePlace)
 	s.mux.HandleFunc("/v1/release", s.handleRelease)
 	s.mux.HandleFunc("/v1/evict", s.handleEvict)
+	s.mux.HandleFunc("/v1/drain", s.handleDrain)
 	s.mux.HandleFunc("/v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	if s.cfg.Obs != nil {
@@ -315,15 +353,16 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	s.met.evictReqs.Inc()
 
 	sh := s.shards[s.pmShard(req.PM)]
-	pm, ok := sh.pms[req.PM]
-	if !ok {
-		writeError(w, http.StatusNotFound, "unknown_pm", fmt.Errorf("serve: pm %d not in inventory", req.PM))
-		return
-	}
-
-	victim, hosted, err := s.evictVictim(sh, pm, req.VM)
+	victim, hosted, pm, err := s.evictVictim(sh, req.PM, req.VM)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "no_victim", err)
+		switch {
+		case errors.Is(err, errUnknownPM):
+			writeError(w, http.StatusNotFound, "unknown_pm", err)
+		case errors.Is(err, errDraining):
+			writeError(w, http.StatusConflict, "draining", err)
+		default:
+			writeError(w, http.StatusNotFound, "no_victim", err)
+		}
 		return
 	}
 	if err := s.wal.flush(); err != nil {
@@ -342,6 +381,9 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("re-place failed (%v) and restore failed: %w", res.err, rerr))
 			return
 		}
+		// The compensating place op restore appended counts toward the
+		// snapshot cadence like any other committed op.
+		s.noteOps(1)
 		writeError(w, http.StatusConflict, "no_capacity",
 			fmt.Errorf("serve: no destination for vm %d; restored to pm %d", victim, pm.ID))
 		return
@@ -349,15 +391,24 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, EvictResponse{VM: victim, From: pm.ID, To: res.pmID, Seq: res.seq})
 }
 
-// evictVictim picks (or validates) the victim and releases it from the
-// source PM under the shard lock, appending the release op.
-func (s *Server) evictVictim(sh *shard, pm *placement.PM, want *int) (int, placement.Hosted, error) {
+// evictVictim resolves the source PM, picks (or validates) the victim,
+// and releases it — all under the shard lock, because sh.pms shrinks
+// when a drain retires a PM. A draining (cordoned) source is refused:
+// the drain is already moving every VM off it.
+func (s *Server) evictVictim(sh *shard, pmID int, want *int) (int, placement.Hosted, *placement.PM, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	pm, ok := sh.pms[pmID]
+	if !ok {
+		return 0, placement.Hosted{}, nil, fmt.Errorf("%w: pm %d not in inventory", errUnknownPM, pmID)
+	}
+	if pm.Cordoned() {
+		return 0, placement.Hosted{}, nil, fmt.Errorf("%w: pm %d", errDraining, pmID)
+	}
 	victim := -1
 	if want != nil {
 		if _, ok := pm.VMs()[*want]; !ok {
-			return 0, placement.Hosted{}, fmt.Errorf("serve: vm %d not on pm %d", *want, pm.ID)
+			return 0, placement.Hosted{}, nil, fmt.Errorf("serve: vm %d not on pm %d", *want, pm.ID)
 		}
 		victim = *want
 	} else {
@@ -370,13 +421,13 @@ func (s *Server) evictVictim(sh *shard, pm *placement.PM, want *int) (int, place
 		ev := placement.RankEvictor{Placer: sh.placer}
 		id, ok := ev.SelectVictim(pm, dims)
 		if !ok {
-			return 0, placement.Hosted{}, fmt.Errorf("serve: pm %d hosts no evictable VM", pm.ID)
+			return 0, placement.Hosted{}, nil, fmt.Errorf("serve: pm %d hosts no evictable VM", pm.ID)
 		}
 		victim = id
 	}
 	h, err := sh.cluster.Release(victim)
 	if err != nil {
-		return 0, placement.Hosted{}, err
+		return 0, placement.Hosted{}, nil, err
 	}
 	s.loc.Delete(victim)
 	s.wal.appendOp(record.Op{
@@ -385,7 +436,7 @@ func (s *Server) evictVictim(sh *shard, pm *placement.PM, want *int) (int, place
 		VMType: h.VM.Type,
 		PM:     pm.ID,
 	})
-	return victim, h, nil
+	return victim, h, pm, nil
 }
 
 // restore re-hosts an evicted VM on its source PM with its original
@@ -416,6 +467,150 @@ func (s *Server) restore(sh *shard, pm *placement.PM, h placement.Hosted) error 
 	return nil
 }
 
+// handleDrain serves POST /v1/drain: a maintenance drain. The PM is
+// cordoned (placers stop offering it), every hosted VM is re-placed
+// through the normal admission path — each move a release+place op
+// pair in the WAL — and the emptied PM is retired from the inventory
+// with a final retire op. If any VM has no destination the drain
+// aborts: the VM is restored to its source, the PM is uncordoned and
+// stays in service (already-moved VMs stay moved), and the client gets
+// 409. The cordon itself is not persisted — a crash mid-drain recovers
+// to a consistent, partially drained, uncordoned PM — but a completed
+// retirement is durable.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() { s.met.drainSecs.Observe(time.Since(start).Seconds()) }()
+	if !s.checkMutable(w, r) {
+		return
+	}
+	var req DrainRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.met.drainReqs.Inc()
+
+	// One drain at a time: two concurrent drains could each need the
+	// other's capacity and livelock against their compensation paths.
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+
+	sh := s.shards[s.pmShard(req.PM)]
+	pm, ids, err := s.cordonPM(sh, req.PM)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "unknown_pm", err)
+		return
+	}
+
+	var moves []DrainMove
+	for _, vmID := range ids {
+		h, ok := s.releaseForDrain(sh, pm, vmID)
+		if !ok {
+			continue // the client released it after the cordon
+		}
+		res := s.submitPlace(h.VM, pm)
+		if res.err != nil {
+			// Compensate: the VM goes back, the PM stays in service.
+			if rerr := s.restore(sh, pm, h); rerr != nil {
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Errorf("drain re-place failed (%v) and restore failed: %w", res.err, rerr))
+				return
+			}
+			s.noteOps(2) // the release op and its compensating place op
+			s.uncordon(sh, pm)
+			if errors.Is(res.err, placement.ErrNoCapacity) {
+				writeError(w, http.StatusConflict, "no_capacity",
+					fmt.Errorf("serve: drain of pm %d: no destination for vm %d; pm stays in service", pm.ID, vmID))
+				return
+			}
+			s.writePlaceError(w, res.err)
+			return
+		}
+		// The place op was counted by its batch commit; count the
+		// release op here.
+		s.noteOps(1)
+		moves = append(moves, DrainMove{VM: vmID, To: res.pmID})
+	}
+
+	seq, err := s.retirePM(sh, pm)
+	if err != nil {
+		// Something re-hosted onto the PM between the last move and the
+		// retire (an evict compensation, at worst). Leave it in service.
+		s.uncordon(sh, pm)
+		writeError(w, http.StatusConflict, "conflict", err)
+		return
+	}
+	if err := s.wal.flush(); err != nil {
+		s.walBroken.Store(true)
+		s.met.walErrors.Inc()
+		writeError(w, http.StatusServiceUnavailable, "wal_failed", errWALFailed)
+		return
+	}
+	s.noteOps(1)
+	writeJSON(w, http.StatusOK, DrainResponse{PM: req.PM, Moves: moves, Retired: true, Seq: seq})
+}
+
+// cordonPM resolves and cordons the PM under the shard lock, returning
+// its hosted VM ids (ascending — the drain's move order).
+func (s *Server) cordonPM(sh *shard, pmID int) (*placement.PM, []int, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pm, ok := sh.pms[pmID]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: pm %d not in inventory", errUnknownPM, pmID)
+	}
+	pm.SetCordoned(true)
+	return pm, sortedVMIDs(pm), nil
+}
+
+// uncordon returns a PM to service under the shard lock.
+func (s *Server) uncordon(sh *shard, pm *placement.PM) {
+	sh.mu.Lock()
+	pm.SetCordoned(false)
+	sh.mu.Unlock()
+}
+
+// releaseForDrain releases one VM off the draining PM under the shard
+// lock, appending the release op. It reports false when the VM is no
+// longer there (a client release raced the drain) — not an error, the
+// drain's goal is an empty PM.
+func (s *Server) releaseForDrain(sh *shard, pm *placement.PM, vmID int) (placement.Hosted, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := pm.VMs()[vmID]; !ok {
+		return placement.Hosted{}, false
+	}
+	h, err := sh.cluster.Release(vmID)
+	if err != nil {
+		return placement.Hosted{}, false
+	}
+	s.loc.Delete(vmID)
+	s.wal.appendOp(record.Op{
+		Kind:   record.OpRelease,
+		VM:     vmID,
+		VMType: h.VM.Type,
+		PM:     pm.ID,
+	})
+	return h, true
+}
+
+// retirePM removes the emptied PM from the inventory under the shard
+// lock and appends the retire op. The caller flushes.
+func (s *Server) retirePM(sh *shard, pm *placement.PM) (int64, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.cluster.Retire(pm); err != nil {
+		return 0, err
+	}
+	delete(sh.pms, pm.ID)
+	sh.retired = append(sh.retired, pm.ID)
+	seq := s.wal.appendOp(record.Op{
+		Kind:   record.OpRetire,
+		PM:     pm.ID,
+		PMType: pm.Type,
+	})
+	return seq, nil
+}
+
 // handleCluster serves GET /v1/cluster.
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
@@ -432,6 +627,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			Used:    sh.cluster.NumUsed(),
 			VMs:     sh.cluster.NumVMs(),
 			MaxUsed: sh.cluster.MaxUsed,
+			Retired: len(sh.retired),
 		}
 		if wantVMs {
 			for _, pm := range sh.cluster.UsedPMs() {
@@ -446,6 +642,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		resp.UsedPMs += st.Used
 		resp.VMs += st.VMs
 		resp.MaxUsed += st.MaxUsed
+		resp.Retired += st.Retired
 	}
 	if wantVMs {
 		sort.Slice(resp.Placements, func(i, j int) bool { return resp.Placements[i].VM < resp.Placements[j].VM })

@@ -68,6 +68,13 @@ func foldDataDir(t *testing.T, dir string) map[int]foldedVM {
 					return fmt.Errorf("fold: seq %d releases unplaced vm %d", op.Seq, op.VM)
 				}
 				delete(state, op.VM)
+			case record.OpRetire:
+				// A retire is only legal after every hosted VM moved off.
+				for id, fv := range state {
+					if fv.PM == op.PM {
+						return fmt.Errorf("fold: seq %d retires pm %d still hosting vm %d", op.Seq, op.PM, id)
+					}
+				}
 			}
 			return nil
 		})

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pagerankvm/internal/deschedule"
 	"pagerankvm/internal/obs"
 	"pagerankvm/internal/obs/record"
 	"pagerankvm/internal/placement"
@@ -85,6 +86,15 @@ type Config struct {
 	Obs *obs.Observer
 	// Sink, when non-nil, backs the /events endpoint.
 	Sink *obs.RingSink
+	// RebalanceEvery, when positive, runs a background descheduler
+	// round (RebalanceNow) at that period. Zero disables the loop;
+	// RebalanceNow stays available for operator- or test-driven rounds.
+	RebalanceEvery time.Duration
+	// Rebalance parameterizes the per-shard descheduler engines
+	// (budgets, gain margin, drain threshold). Obs defaults to this
+	// Config's Obs; Recorder and OnMove are owned by the daemon (moves
+	// go to the WAL) and must be left unset.
+	Rebalance deschedule.Config
 }
 
 // locEntry is the global VM directory value: which shard and PM host a
@@ -106,6 +116,11 @@ type shard struct {
 	placer  *placement.PageRankVM
 	pms     map[int]*placement.PM // by PM id, for replay and evict routing
 	queue   chan *placeReq
+	engine  *deschedule.Engine
+	// retired lists PM ids drained out of this shard's inventory, in
+	// retirement order. It is part of durable state: snapshots carry it
+	// so recovery re-retires before re-hosting.
+	retired []int
 }
 
 // serveMetrics bundles the daemon's obs instruments.
@@ -115,12 +130,14 @@ type serveMetrics struct {
 	placeRejs   *obs.Counter
 	releaseReqs *obs.Counter
 	evictReqs   *obs.Counter
+	drainReqs   *obs.Counter
 	forwards    *obs.Counter
 	walErrors   *obs.Counter
 	snapshots   *obs.Counter
 	batchSize   *obs.Histogram
 	placeSecs   *obs.Histogram
 	requestSecs *obs.Histogram
+	drainSecs   *obs.Histogram
 }
 
 // Server is the placement daemon: sharded cluster state, a WAL, and an
@@ -139,6 +156,11 @@ type Server struct {
 	stopOnce  sync.Once
 	wg        sync.WaitGroup
 	walBroken atomic.Bool
+
+	// drainMu serializes maintenance drains: a drain cordons its PM and
+	// walks every hosted VM through the admission path, and two
+	// concurrent drains could deadlock capacity against each other.
+	drainMu sync.Mutex
 
 	snapInFlight atomic.Bool
 	opsSinceSnap atomic.Int64
@@ -215,6 +237,38 @@ func New(cfg Config) (*Server, error) {
 		s.shards[i] = sh
 	}
 
+	// One descheduler engine per shard, sharing the shard's placer so
+	// rebalance moves draw from the same rank tables and seeded rng as
+	// admission. OnMove runs inside Rebalance — under the shard lock —
+	// so the appendOp calls follow the shard.mu -> wal.mu lock order.
+	for _, sh := range s.shards {
+		sh := sh
+		rcfg := cfg.Rebalance
+		if rcfg.Obs == nil {
+			rcfg.Obs = cfg.Obs
+		}
+		rcfg.Recorder = nil
+		rcfg.OnMove = func(m deschedule.Move) {
+			s.wal.appendOp(record.Op{
+				Kind:   record.OpRelease,
+				VM:     m.VM,
+				VMType: m.VMType,
+				PM:     m.From,
+			})
+			s.wal.appendOp(record.Op{
+				Kind:   record.OpPlace,
+				VM:     m.VM,
+				VMType: m.VMType,
+				PM:     m.To,
+				PMType: m.ToType,
+				Assign: toOpAssign(m.Assign),
+				Score:  m.Score,
+			})
+			s.loc.Store(m.VM, locEntry{shard: sh.idx, pm: m.To})
+		}
+		sh.engine = deschedule.New(sh.placer, rcfg)
+	}
+
 	nextSeq := int64(0)
 	if cfg.DataDir != "" {
 		info, err := s.recover(cfg.DataDir)
@@ -241,7 +295,64 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.snapshotter(s.stop)
 	}
+	if cfg.RebalanceEvery > 0 {
+		s.wg.Add(1)
+		go s.rebalancer(cfg.RebalanceEvery, s.stop)
+	}
 	return s, nil
+}
+
+// rebalancer runs one descheduler round per period until shutdown.
+func (s *Server) rebalancer(period time.Duration, stop <-chan struct{}) {
+	defer s.wg.Done()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_, _ = s.RebalanceNow() // errors surface via serve.wal_errors / healthz
+		case <-stop:
+			return
+		}
+	}
+}
+
+// RebalanceNow runs one descheduler round on every shard and returns
+// the summed stats. Each shard's round runs under its lock (rebalancing
+// never crosses shards — admission's ring forwarding handles cross-shard
+// spill), its release+place op pairs go through the WAL via the
+// engines' OnMove hook, and the round is flushed before the next shard
+// starts. Refused while shutting down or after a WAL failure.
+func (s *Server) RebalanceNow() (deschedule.RoundStats, error) {
+	var total deschedule.RoundStats
+	select {
+	case <-s.stop:
+		return total, errShutdown
+	default:
+	}
+	if s.walBroken.Load() {
+		return total, errWALFailed
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st := sh.engine.Rebalance(sh.cluster)
+		var ferr error
+		if st.Moves > 0 {
+			// Flushing under the shard lock follows the shard.mu ->
+			// wal.mu lock order; the moves must be durable before the
+			// shard accepts interleaving mutations.
+			ferr = s.wal.flush()
+		}
+		sh.mu.Unlock()
+		if ferr != nil {
+			s.walBroken.Store(true)
+			s.met.walErrors.Inc()
+			return total, errWALFailed
+		}
+		s.noteOps(int64(2 * st.Moves))
+		total.Add(st)
+	}
+	return total, nil
 }
 
 // snapshotter cuts a snapshot whenever the commit paths signal that
@@ -281,12 +392,14 @@ func (s *Server) initMetrics(o *obs.Observer) {
 		placeRejs:   o.Counter("serve.place_rejected"),
 		releaseReqs: o.Counter("serve.release_requests"),
 		evictReqs:   o.Counter("serve.evict_requests"),
+		drainReqs:   o.Counter("serve.drain_requests"),
 		forwards:    o.Counter("serve.place_forwards"),
 		walErrors:   o.Counter("serve.wal_errors"),
 		snapshots:   o.Counter("serve.snapshots"),
 		batchSize:   o.Histogram("serve.batch_size", obs.LinearBuckets(1, 8, 16)),
 		placeSecs:   o.Histogram("serve.place_seconds", obs.DefSecondsBuckets()),
 		requestSecs: o.Histogram("serve.request_seconds", obs.DefSecondsBuckets()),
+		drainSecs:   o.Histogram("deschedule.drain_seconds", obs.DefSecondsBuckets()),
 	}
 }
 
@@ -397,6 +510,17 @@ func (s *Server) applyOp(op record.Op) error {
 			return fmt.Errorf("serve: replay seq %d: %w", op.Seq, err)
 		}
 		s.loc.Delete(op.VM)
+	case record.OpRetire:
+		sh := s.shards[s.pmShard(op.PM)]
+		pm, ok := sh.pms[op.PM]
+		if !ok {
+			return fmt.Errorf("serve: replay seq %d: pm %d not in inventory", op.Seq, op.PM)
+		}
+		if err := sh.cluster.Retire(pm); err != nil {
+			return fmt.Errorf("serve: replay seq %d: %w", op.Seq, err)
+		}
+		delete(sh.pms, op.PM)
+		sh.retired = append(sh.retired, op.PM)
 	default:
 		return fmt.Errorf("serve: replay seq %d: unknown op kind %q", op.Seq, op.Kind)
 	}

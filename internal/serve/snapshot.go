@@ -48,6 +48,10 @@ type snapShard struct {
 	Unused []int `json:"unused"`
 	// MaxUsed is the shard's high-water mark of simultaneously used PMs.
 	MaxUsed int `json:"max_used"`
+	// Retired lists PM ids drained out of the inventory, in retirement
+	// order. Absent in pre-drain snapshots, which decode to an empty
+	// list — no version bump needed.
+	Retired []int `json:"retired,omitempty"`
 	// PMs holds the hosted VMs of every active PM, in used-list order.
 	PMs []snapPM `json:"pms,omitempty"`
 }
@@ -138,6 +142,9 @@ func (s *Server) capture(cut int64) snapshotFile {
 	}
 	for i, sh := range s.shards {
 		st := snapShard{MaxUsed: sh.cluster.MaxUsed}
+		if len(sh.retired) > 0 {
+			st.Retired = append([]int(nil), sh.retired...)
+		}
 		for _, pm := range sh.cluster.UsedPMs() {
 			st.Used = append(st.Used, pm.ID)
 			sp := snapPM{ID: pm.ID}
@@ -320,6 +327,19 @@ func (s *Server) applySnapshot(snap snapshotFile) error {
 	}
 	for i, st := range snap.State {
 		sh := s.shards[i]
+		// Retire first: retired PMs are out of the inventory, so the
+		// used/unused Reorder below must not see them.
+		for _, pmID := range st.Retired {
+			pm, ok := sh.pms[pmID]
+			if !ok {
+				return fmt.Errorf("serve: snapshot retired pm %d not in shard %d inventory", pmID, i)
+			}
+			if err := sh.cluster.Retire(pm); err != nil {
+				return fmt.Errorf("serve: snapshot retired pm %d: %w", pmID, err)
+			}
+			delete(sh.pms, pmID)
+			sh.retired = append(sh.retired, pmID)
+		}
 		for _, sp := range st.PMs {
 			pm, ok := sh.pms[sp.ID]
 			if !ok {

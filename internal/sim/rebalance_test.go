@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+
+	"pagerankvm/internal/placement"
+	"pagerankvm/internal/ranktable"
+	"pagerankvm/internal/resource"
+	"pagerankvm/internal/trace"
+)
+
+// fragmentedChurn builds the churn scenario both rebalance tests run:
+// 16 wide VMs fill 4 PMs at step 0, then three of every four depart at
+// step 2, stranding one low-load VM per PM for the rest of the
+// horizon. Admission alone never heals that — no new arrivals means no
+// new decisions — so the final active-PM count isolates the
+// descheduler's contribution.
+func fragmentedChurn(steps int) []Workload {
+	gen := trace.Constant{Level: 0.1}
+	var workloads []Workload
+	for i := 0; i < 16; i++ {
+		w := Workload{VM: newVM(i, "[1,1,1,1]"), Trace: gen.Series(i, steps)}
+		if i%4 != 0 {
+			w.End = 2
+		}
+		workloads = append(workloads, w)
+	}
+	return workloads
+}
+
+func rebalanceRun(t *testing.T, steps, every int) Result {
+	t.Helper()
+	table, err := ranktable.NewJoint(smallShape(), []resource.VMType{
+		smallVMType("[1,1]"), smallVMType("[1,1,1,1]"),
+	}, ranktable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := ranktable.NewRegistry()
+	reg.Add(pmSmall, table)
+	prvm := placement.NewPageRankVM(reg, placement.WithSeed(5))
+
+	cfg := shortCfg(steps)
+	cfg.RebalanceEvery = every
+	if every > 0 {
+		cfg.Rebalance.DrainBelow = 0.3
+		cfg.Rebalance.MaxMovesPerRound = 8
+	}
+	s, err := New(cfg, newCluster(8), prvm, placement.RankEvictor{Placer: prvm}, models(), fragmentedChurn(steps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRebalanceReducesActivePMs is the issue's acceptance scenario:
+// under churn, periodic descheduler rounds with a stated migration
+// budget must end on fewer active PMs — and burn less energy — than
+// admission-only placement of the same workload.
+func TestRebalanceReducesActivePMs(t *testing.T) {
+	const steps = 8
+	base := rebalanceRun(t, steps, 0)
+	reb := rebalanceRun(t, steps, 2)
+
+	if base.RebalanceRounds != 0 || base.RebalanceMoves != 0 {
+		t.Fatalf("admission-only run reports rebalancing: %+v", base)
+	}
+	if reb.RebalanceRounds == 0 || reb.RebalanceMoves == 0 {
+		t.Fatalf("rebalancing run did nothing: %+v", reb)
+	}
+	if reb.FinalPMs >= base.FinalPMs {
+		t.Fatalf("FinalPMs %d (rebalance) vs %d (admission-only): no consolidation", reb.FinalPMs, base.FinalPMs)
+	}
+	if reb.ActivePMSteps >= base.ActivePMSteps {
+		t.Fatalf("ActivePMSteps %d vs %d: rebalancing saved no PM-intervals", reb.ActivePMSteps, base.ActivePMSteps)
+	}
+	if reb.EnergyKWh >= base.EnergyKWh {
+		t.Fatalf("EnergyKWh %v vs %v: rebalancing saved no energy", reb.EnergyKWh, base.EnergyKWh)
+	}
+	if reb.RebalanceFreedPMs == 0 {
+		t.Fatalf("RebalanceFreedPMs = 0: %+v", reb)
+	}
+	// Proactive moves must not leak into the paper's overload-response
+	// migration metric.
+	if reb.Migrations != base.Migrations {
+		t.Fatalf("Migrations %d vs %d: rebalance moves leaked into the overload metric", reb.Migrations, base.Migrations)
+	}
+}
+
+// Two identical rebalancing runs must agree on every statistic: the
+// descheduler adds no nondeterminism to the simulation.
+func TestRebalanceSeedStable(t *testing.T) {
+	const steps = 8
+	a := rebalanceRun(t, steps, 2)
+	b := rebalanceRun(t, steps, 2)
+	if a != b {
+		t.Fatalf("identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// RebalanceEvery demands the PageRankVM placer: the engine re-asks
+// Algorithm 2 for its moves, so any other placer is a config error.
+func TestRebalanceRequiresPageRankVM(t *testing.T) {
+	cfg := shortCfg(4)
+	cfg.RebalanceEvery = 2
+	_, err := New(cfg, newCluster(2), placement.FirstFit{}, placement.MMTEvictor{}, models(), constWorkloads(2, "[1,1]", 0.1, 4))
+	if err == nil {
+		t.Fatal("FirstFit accepted with RebalanceEvery set")
+	}
+}

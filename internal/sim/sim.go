@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"time"
 
+	"pagerankvm/internal/deschedule"
 	"pagerankvm/internal/energy"
 	"pagerankvm/internal/obs"
 	"pagerankvm/internal/obs/record"
@@ -83,6 +84,15 @@ type Config struct {
 	// placement.WithRecorder on the placer for the decision stream
 	// itself.
 	Recorder *record.Recorder
+	// RebalanceEvery, when positive, runs one descheduler round every
+	// that many monitoring intervals (after the interval's monitoring
+	// actions, so relief and rebalancing never race within a step).
+	// Requires the placer to be a *placement.PageRankVM — the engine
+	// re-asks Algorithm 2 for its moves. Zero disables rebalancing.
+	RebalanceEvery int
+	// Rebalance parameterizes the descheduler when RebalanceEvery is
+	// set. Its Obs and Recorder default to this Config's when unset.
+	Rebalance deschedule.Config
 }
 
 // StepStats is the per-interval snapshot passed to Config.Observer.
@@ -100,6 +110,9 @@ type StepStats struct {
 	// ViolatedPMs is the number of PMs that experienced 100% CPU in
 	// some dimension during the interval.
 	ViolatedPMs int
+	// RebalanceMoves is the number of descheduler migrations this
+	// interval (0 on intervals without a rebalance round).
+	RebalanceMoves int
 	// MeanCPUUtil is the mean aggregate CPU utilization over the PMs
 	// active during the interval (0 when none).
 	MeanCPUUtil float64
@@ -167,6 +180,13 @@ type Result struct {
 	OverloadEvents int
 	// Consolidations counts PMs evacuated by underload consolidation.
 	Consolidations int
+	// RebalanceRounds, RebalanceMoves and RebalanceFreedPMs summarize
+	// descheduler activity (Config.RebalanceEvery). Rebalance moves are
+	// counted separately from Migrations: the paper's migration metric
+	// measures overload response, not proactive consolidation.
+	RebalanceRounds   int
+	RebalanceMoves    int
+	RebalanceFreedPMs int
 }
 
 // Simulation drives one run. Build it with New, then call Run once.
@@ -180,6 +200,7 @@ type Simulation struct {
 	vms     []*placement.VM          // arrivals at step 0
 	arrives map[int][]*placement.VM  // step -> arrivals (step > 0)
 	departs map[int][]int            // step -> departing vm ids
+	resched *deschedule.Engine       // nil when rebalancing is off
 	met     simMetrics
 }
 
@@ -262,6 +283,20 @@ func New(cfg Config, cluster *placement.Cluster, placer placement.Placer,
 		arrives: make(map[int][]*placement.VM),
 		departs: make(map[int][]int),
 		met:     newSimMetrics(cfg.Obs),
+	}
+	if cfg.RebalanceEvery > 0 {
+		prvm, ok := placer.(*placement.PageRankVM)
+		if !ok {
+			return nil, fmt.Errorf("sim: rebalancing requires the PageRankVM placer, got %s", placer.Name())
+		}
+		rcfg := cfg.Rebalance
+		if rcfg.Obs == nil {
+			rcfg.Obs = cfg.Obs
+		}
+		if rcfg.Recorder == nil {
+			rcfg.Recorder = cfg.Recorder
+		}
+		s.resched = deschedule.New(prvm, rcfg)
 	}
 	for _, w := range workloads {
 		if w.VM == nil {
@@ -428,6 +463,15 @@ func (s *Simulation) tick(step int, meter *energy.Meter, res *Result) error {
 			s.consolidate(pm, res)
 		}
 	}
+
+	if s.resched != nil && (step+1)%s.cfg.RebalanceEvery == 0 {
+		rst := s.resched.Rebalance(s.cluster)
+		res.RebalanceRounds++
+		res.RebalanceMoves += rst.Moves
+		res.RebalanceFreedPMs += rst.PMsFreed
+		stats.RebalanceMoves = rst.Moves
+	}
+
 	s.met.activePMs.Set(int64(s.cluster.NumUsed()))
 	s.met.placedVMs.Set(int64(s.cluster.NumVMs()))
 	if s.cfg.Observer != nil {
